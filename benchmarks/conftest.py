@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artefact — the simulated ground-truth sweeps at the paper's
+full sweep size — is built once per session and shared by every figure
+benchmark, exactly like the paper's measurement campaign is shared by all of
+its figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.application import ApplicationConfig
+from repro.config.network import NetworkConfig
+from repro.evaluation.figures import FigureContext
+
+
+@pytest.fixture(scope="session")
+def figure_context() -> FigureContext:
+    """Full (paper-sized) figure context shared across benchmark modules."""
+    return FigureContext(quick=False)
+
+
+@pytest.fixture(scope="session")
+def default_app() -> ApplicationConfig:
+    """The default object-detection application."""
+    return ApplicationConfig.object_detection_default()
+
+
+@pytest.fixture(scope="session")
+def default_network() -> NetworkConfig:
+    """The default network topology."""
+    return NetworkConfig()

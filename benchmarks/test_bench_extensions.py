@@ -1,0 +1,51 @@
+"""Benchmarks for the extension experiments (beyond the paper's evaluation).
+
+These back the paper's "can be incorporated according to system requirements"
+claims with runnable numbers: mobility/handoff, path loss, multi-edge
+splitting, and session-level analysis.
+"""
+
+from repro.evaluation.extensions import (
+    mobility_extension,
+    multi_edge_extension,
+    pathloss_extension,
+    session_extension,
+)
+from repro.evaluation.report import save_text
+
+
+def test_bench_extension_mobility(benchmark):
+    result = benchmark.pedantic(mobility_extension, iterations=1, rounds=2)
+    save_text("extension_mobility.txt", result.to_text())
+    print()
+    print(result.to_text())
+    latencies = [float(row[2]) for row in result.rows]
+    assert latencies[-1] > latencies[0]
+
+
+def test_bench_extension_pathloss(benchmark):
+    result = benchmark.pedantic(pathloss_extension, iterations=1, rounds=2)
+    save_text("extension_pathloss.txt", result.to_text())
+    print()
+    print(result.to_text())
+    throughputs = [float(row[1]) for row in result.rows]
+    assert throughputs[0] > throughputs[-1]
+
+
+def test_bench_extension_multi_edge(benchmark):
+    result = benchmark.pedantic(multi_edge_extension, iterations=1, rounds=2)
+    save_text("extension_multi_edge.txt", result.to_text())
+    print()
+    print(result.to_text())
+    remote = [float(row[1]) for row in result.rows]
+    assert remote[-1] < remote[0]
+
+
+def test_bench_extension_session(benchmark):
+    result = benchmark.pedantic(
+        session_extension, kwargs={"n_frames": 200, "seed": 3}, iterations=1, rounds=1
+    )
+    save_text("extension_session.txt", result.to_text())
+    print()
+    print(result.to_text())
+    assert len(result.rows) == 7

@@ -1,0 +1,51 @@
+"""Micro-benchmarks: how fast is the framework itself?
+
+These are not paper figures; they document the cost of using the framework
+(single-frame analyses, full sweeps, simulated-testbed frame rate) so that
+regressions in evaluation speed are caught.
+"""
+
+from repro.config.application import ExecutionMode
+from repro.core.framework import XRPerformanceModel
+from repro.simulation.testbed import SimulatedTestbed
+
+
+def test_bench_single_frame_latency_analysis(benchmark, default_app, default_network):
+    model = XRPerformanceModel(device="XR1", edge="EDGE-AGX")
+    result = benchmark(model.analyze_latency, default_app, default_network)
+    assert result.total_ms > 0.0
+
+
+def test_bench_single_frame_full_report(benchmark, default_app, default_network):
+    model = XRPerformanceModel(device="XR1", edge="EDGE-AGX")
+    report = benchmark(model.analyze, default_app, default_network)
+    assert report.total_energy_mj > 0.0
+
+
+def test_bench_remote_frame_analysis(benchmark, default_app, default_network):
+    model = XRPerformanceModel(device="XR2", edge="EDGE-AGX")
+    remote_app = default_app.with_mode(ExecutionMode.REMOTE)
+    report = benchmark(model.analyze, remote_app, default_network)
+    assert report.total_latency_ms > 0.0
+
+
+def test_bench_offloading_decision(benchmark, default_app, default_network):
+    model = XRPerformanceModel(device="XR6", edge="EDGE-AGX")
+    decision = benchmark(model.best_placement, "latency", default_app, default_network)
+    assert decision.total_latency_ms > 0.0
+
+
+def test_bench_simulated_testbed_run(benchmark, default_app, default_network):
+    testbed = SimulatedTestbed(device="XR2", edge="EDGE-AGX")
+    run = benchmark.pedantic(
+        testbed.run,
+        kwargs={
+            "app": default_app,
+            "network": default_network,
+            "n_frames": 20,
+            "repetitions": 1,
+        },
+        iterations=1,
+        rounds=5,
+    )
+    assert len(run.trace) == 20

@@ -1,0 +1,73 @@
+"""Device comparison: the same XR application across the Table I devices.
+
+The paper's measurement campaign spans seven heterogeneous devices (flagship
+phones, a budget phone, smart glasses, a standalone headset, a Jetson board).
+This example runs the analytical framework for every catalog device, with the
+CNN each device would realistically use, and prints per-frame latency,
+energy, battery life and thermal behaviour — the kind of table a developer
+would consult when choosing target hardware.
+
+Run with ``python examples/device_comparison.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import XRPerformanceModel
+from repro.devices.battery import Battery
+from repro.devices.catalog import list_devices
+from repro.evaluation.report import format_table
+
+
+def main() -> None:
+    rows = []
+    for spec in list_devices():
+        if spec.role != "xr":
+            continue  # the Jetson TX2 acts as an external sensor host, not a client
+        model = XRPerformanceModel(device=spec, edge="EDGE-AGX")
+        # Clamp the operating point to what the device can actually sustain.
+        app = dataclasses.replace(
+            model.app, cpu_freq_ghz=min(2.0, spec.cpu_max_freq_ghz)
+        )
+        report = model.analyze(app=app, include_aoi=False)
+        battery = Battery.from_spec(spec)
+        runtime_s = battery.runtime_remaining_s(
+            report.total_energy_mj, report.total_latency_ms
+        )
+        runtime = "tethered" if runtime_s == float("inf") else f"{runtime_s / 60.0:.0f} min"
+        rows.append(
+            (
+                spec.name,
+                spec.model,
+                f"{report.total_latency_ms:.0f}",
+                f"{1e3 / report.total_latency_ms:.1f}",
+                f"{report.total_energy_mj:.0f}",
+                runtime,
+            )
+        )
+
+    print("Object-detection pipeline across the paper's XR devices (local inference, 2 GHz cap)")
+    print(
+        format_table(
+            rows,
+            headers=(
+                "id",
+                "device",
+                "latency (ms/frame)",
+                "achievable fps",
+                "energy (mJ/frame)",
+                "battery life",
+            ),
+        )
+    )
+    print()
+    print(
+        "Devices with LPDDR5 memory and high clock ceilings finish frames faster;\n"
+        "the Google Glass (small battery) runs out first even though its per-frame\n"
+        "energy is moderate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Model validation walk-through: regression fitting, ground truth, comparison.
+
+Reproduces the paper's methodology end to end on a small scale:
+
+1. generate a synthetic measurement campaign on the training devices and
+   re-fit the paper's regression forms (Eqs. 3, 10, 12, 21), reporting R^2,
+2. run the simulated testbed (a held-out device) over a small frame-size
+   sweep to obtain ground truth,
+3. evaluate the proposed analytical model and the FACT / LEAF baselines at
+   the same operating points and report mean errors — a miniature version of
+   Figs. 4 and 5.
+
+Run with ``python examples/model_validation.py`` (set ``REPRO_EXAMPLE_QUICK``
+to shrink the sweep further).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import ExecutionMode, XRPerformanceModel
+from repro.baselines import FACTModel, LEAFModel
+from repro.core.coefficients import calibrated_coefficients
+from repro.evaluation.metrics import mean_absolute_percentage_error
+from repro.evaluation.report import format_table
+from repro.simulation.testbed import SimulatedTestbed
+
+
+def main() -> None:
+    quick = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+    frame_sides = (300.0, 500.0, 700.0) if quick else (300.0, 400.0, 500.0, 600.0, 700.0)
+    n_frames = 8 if quick else 20
+
+    # 1. Calibrate the regressions on the synthetic campaign.
+    coefficients = calibrated_coefficients(n_samples=2000 if quick else 6000)
+    print("Regression fit quality (train R^2, paper reports 0.87 / 0.863 / 0.79 / 0.844):")
+    for key in ("compute_resource", "mean_power", "encoding_latency", "cnn_complexity"):
+        print(f"  {key:>18s}: {coefficients.r_squared[key]:.3f}")
+    print()
+
+    # 2. Ground truth from the simulated testbed on a held-out device.
+    testbed = SimulatedTestbed(device="XR2", edge="EDGE-AGX")
+    proposed = XRPerformanceModel(
+        device=testbed.device, edge=testbed.edge, coefficients=coefficients
+    )
+    reference = testbed.reference_run(n_frames=n_frames)
+    fact, leaf = FACTModel(), LEAFModel()
+    fact.calibrate(reference)
+    leaf.calibrate(reference)
+
+    rows = []
+    truths, proposed_values, fact_values, leaf_values = [], [], [], []
+    base_app = proposed.app.with_mode(ExecutionMode.REMOTE)
+    for frame_side in frame_sides:
+        app = base_app.with_frame_side(frame_side)
+        truth = testbed.run(app, n_frames=n_frames, repetitions=2).mean_latency_ms
+        model_value = proposed.analyze_latency(app=app).total_ms
+        fact_value = fact.latency_ms(app)
+        leaf_value = leaf.latency_ms(app)
+        truths.append(truth)
+        proposed_values.append(model_value)
+        fact_values.append(fact_value)
+        leaf_values.append(leaf_value)
+        rows.append(
+            (
+                f"{frame_side:.0f}",
+                f"{truth:.0f}",
+                f"{model_value:.0f}",
+                f"{fact_value:.0f}",
+                f"{leaf_value:.0f}",
+            )
+        )
+
+    print("End-to-end latency, remote inference (ms per frame):")
+    print(format_table(rows, headers=("frame size", "ground truth", "proposed", "FACT", "LEAF")))
+    print()
+    print("Mean error vs ground truth:")
+    print(f"  proposed: {mean_absolute_percentage_error(proposed_values, truths):5.1f}%")
+    print(f"  LEAF    : {mean_absolute_percentage_error(leaf_values, truths):5.1f}%")
+    print(f"  FACT    : {mean_absolute_percentage_error(fact_values, truths):5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Offloading study: where should inference run as the network degrades?
+
+This example mirrors the motivating scenario of the paper's introduction: an
+XR device can run a lightweight CNN locally or offload encoded frames to an
+edge server.  The right choice depends on the wireless throughput and on
+whether the user optimises latency or battery life.  The script sweeps the
+available throughput, asks the offloading planner for the best placement
+under both objectives, and prints the decision table.
+
+Run with ``python examples/offloading_study.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import NetworkConfig, XRPerformanceModel
+from repro.evaluation.report import format_table
+
+
+def main() -> None:
+    quick = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+    throughputs_mbps = (5.0, 20.0, 100.0, 400.0) if quick else (2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0)
+
+    model = XRPerformanceModel(device="XR6", edge="EDGE-AGX")
+    rows = []
+    for throughput in throughputs_mbps:
+        network = NetworkConfig(throughput_mbps=throughput)
+        by_latency = model.best_placement(objective="latency", network=network)
+        by_energy = model.best_placement(objective="energy", network=network)
+        rows.append(
+            (
+                f"{throughput:.0f}",
+                f"{by_latency.mode.value} ({by_latency.total_latency_ms:.0f} ms)",
+                f"{by_energy.mode.value} ({by_energy.total_energy_mj:.0f} mJ)",
+            )
+        )
+
+    print("Best inference placement for a Meta Quest 2 assisted by a Jetson AGX Xavier")
+    print(
+        format_table(
+            rows,
+            headers=("throughput (Mbps)", "best for latency", "best for energy"),
+        )
+    )
+    print()
+    print(
+        "Reading: at low throughput the encoded-frame upload dominates, so local\n"
+        "inference wins; as the link improves, offloading becomes competitive and\n"
+        "the energy objective flips first (waiting for the edge is cheap for the\n"
+        "battery even when it is not faster)."
+    )
+
+
+if __name__ == "__main__":
+    main()

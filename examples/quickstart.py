@@ -1,0 +1,53 @@
+"""Quickstart: analyze one frame of an XR object-detection application.
+
+Builds the default pipeline (Huawei Mate 40 Pro client, Jetson AGX Xavier
+edge server, three external sensors over Wi-Fi), evaluates the end-to-end
+latency, energy and Age-of-Information models for a single frame, and prints
+the per-segment breakdowns the framework produces.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import ApplicationConfig, ExecutionMode, XRPerformanceModel
+
+
+def main() -> None:
+    model = XRPerformanceModel(device="XR1", edge="EDGE-AGX")
+
+    print("=" * 72)
+    print("XR performance analysis quickstart")
+    print("=" * 72)
+    print(f"device : {model.device.describe()}")
+    print(f"edge   : {model.edge.describe()}")
+    print()
+
+    # Local inference: the lightweight CNN runs on the XR device itself.
+    local_report = model.analyze()
+    print(local_report.summary())
+    print()
+
+    # Remote inference: frames are encoded and shipped to the edge server.
+    remote_app = model.app.with_mode(ExecutionMode.REMOTE)
+    remote_report = model.analyze(app=remote_app)
+    print("-" * 72)
+    print(
+        "local  inference: "
+        f"{local_report.total_latency_ms:7.1f} ms, {local_report.total_energy_mj:7.1f} mJ"
+    )
+    print(
+        "remote inference: "
+        f"{remote_report.total_latency_ms:7.1f} ms, {remote_report.total_energy_mj:7.1f} mJ"
+    )
+
+    # A higher capture resolution makes both paths slower; the model quantifies it.
+    high_resolution = ApplicationConfig.object_detection_default().with_frame_side(700.0)
+    print(
+        "local @700px     : "
+        f"{model.analyze(app=high_resolution).total_latency_ms:7.1f} ms per frame"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in fully offline environments where the
+``wheel`` package (needed for PEP 660 editable wheels) may be unavailable —
+pip then falls back to the legacy ``setup.py develop`` editable install.
+"""
+
+from setuptools import setup
+
+setup()

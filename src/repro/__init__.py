@@ -1,0 +1,99 @@
+"""repro — performance analysis modeling framework for XR applications.
+
+A faithful, laptop-scale reproduction of *"A Performance Analysis Modeling
+Framework for Extended Reality Applications in Edge-Assisted Wireless
+Networks"* (Mallik, Xie, Han — ICDCS 2024).  The package provides:
+
+* the analytical latency / energy / Age-of-Information models of the paper
+  (:mod:`repro.core`),
+* every substrate those models depend on — device catalog, CNN zoo, queueing
+  theory, wireless network, sensors, synthetic measurement campaign
+  (:mod:`repro.devices`, :mod:`repro.cnn`, :mod:`repro.queueing`,
+  :mod:`repro.network`, :mod:`repro.sensors`, :mod:`repro.measurement`),
+* the FACT and LEAF baseline models the paper compares against
+  (:mod:`repro.baselines`),
+* a discrete-event simulated testbed that substitutes the paper's physical
+  testbed and produces the ground truth the models are validated against
+  (:mod:`repro.simulation`),
+* an evaluation harness that regenerates every table and figure of the
+  paper's evaluation section (:mod:`repro.evaluation`).
+
+Quickstart::
+
+    from repro import XRPerformanceModel
+
+    model = XRPerformanceModel(device="XR1", edge="EDGE-AGX")
+    report = model.analyze()
+    print(report.summary())
+"""
+
+from repro._version import __version__
+from repro.config import (
+    ApplicationConfig,
+    CooperationConfig,
+    DeviceSpec,
+    EdgeServerSpec,
+    EncoderConfig,
+    ExecutionMode,
+    HandoffConfig,
+    InferenceConfig,
+    NetworkConfig,
+    SensorConfig,
+    SweepConfig,
+    WorkloadConfig,
+)
+from repro.core import (
+    AoIModel,
+    AoIResult,
+    CoefficientSet,
+    EnergyBreakdown,
+    LatencyBreakdown,
+    OffloadingPlanner,
+    PerformanceReport,
+    Segment,
+    SessionAnalyzer,
+    SessionReport,
+    XREnergyModel,
+    XRLatencyModel,
+    XRPerformanceModel,
+    calibrated_coefficients,
+)
+from repro.devices import XRDevice, EdgeServer, get_device, get_edge_server
+from repro.cnn import CNNModel, get_cnn, list_cnns
+
+__all__ = [
+    "AoIModel",
+    "AoIResult",
+    "ApplicationConfig",
+    "CNNModel",
+    "CoefficientSet",
+    "CooperationConfig",
+    "DeviceSpec",
+    "EdgeServer",
+    "EdgeServerSpec",
+    "EncoderConfig",
+    "EnergyBreakdown",
+    "ExecutionMode",
+    "HandoffConfig",
+    "InferenceConfig",
+    "LatencyBreakdown",
+    "NetworkConfig",
+    "OffloadingPlanner",
+    "PerformanceReport",
+    "Segment",
+    "SensorConfig",
+    "SessionAnalyzer",
+    "SessionReport",
+    "SweepConfig",
+    "WorkloadConfig",
+    "XRDevice",
+    "XREnergyModel",
+    "XRLatencyModel",
+    "XRPerformanceModel",
+    "calibrated_coefficients",
+    "get_cnn",
+    "get_device",
+    "get_edge_server",
+    "list_cnns",
+    "__version__",
+]

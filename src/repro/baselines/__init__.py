@@ -1,0 +1,20 @@
+"""Baseline analytical models the paper compares against (Section VIII-D).
+
+* :mod:`repro.baselines.fact` — FACT (Liu et al., INFOCOM 2018): a single
+  computation term (task complexity over compute cycles) plus a wireless
+  transmission term, no memory/encoding/per-segment modeling.
+* :mod:`repro.baselines.leaf` — LEAF (Wang et al., TMC 2023): a per-segment
+  breakdown of the AR pipeline, but with cycle-based computation latency and
+  constant per-segment powers (no compute-resource regression, no memory
+  bandwidth term, no encoder-parameter model).
+
+Both baselines require a reference measurement to set their constants; the
+evaluation harness calibrates them on the simulated testbed's central
+operating point, mirroring how such models are parameterised in practice.
+"""
+
+from repro.baselines.base import BaselineModel
+from repro.baselines.fact import FACTModel
+from repro.baselines.leaf import LEAFModel
+
+__all__ = ["BaselineModel", "FACTModel", "LEAFModel"]

@@ -1,0 +1,100 @@
+"""FACT baseline (Liu et al., "An edge network orchestrator for mobile
+augmented reality", INFOCOM 2018) as characterised in Section VIII-D.
+
+FACT models the service latency of an edge-assisted AR application as a
+computation term plus core-network/wireless communication terms.  The paper
+highlights FACT's simplifications relative to the proposed framework:
+
+* computation latency is task complexity divided by available compute
+  *cycles* — it scales with the pixel count of the frame (``s^2``) and
+  inversely with the CPU clock, with no notion of CPU/GPU split, memory
+  bandwidth, OS allocation, or encoder parameters;
+* a single edge server, no service migration / handoff;
+* communication latency is data size over throughput with no propagation
+  delay or path loss;
+* energy is a single device power constant multiplied by the service latency.
+
+The constants (reference computation latency and reference power) are set by
+calibrating against one ground-truth measurement, after which the functional
+form above extrapolates to other operating points — the extrapolation error
+is exactly what Fig. 5 visualises.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.baselines.base import BaselineModel
+from repro.config.application import ApplicationConfig
+from repro.config.network import NetworkConfig
+from repro.exceptions import ModelDomainError
+from repro.simulation.testbed import GroundTruthRun
+
+
+class FACTModel(BaselineModel):
+    """FACT's single-blob computation + communication latency/energy model."""
+
+    name = "FACT"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reference_app: Optional[ApplicationConfig] = None
+        self._reference_computation_ms: float = 0.0
+        self._reference_power_w: float = 0.0
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _communication_ms(app: ApplicationConfig, network: NetworkConfig) -> float:
+        """FACT's communication latency: offloaded data over throughput only."""
+        return units.transmission_latency_ms(
+            app.encoded_frame_size_mb, network.throughput_mbps
+        )
+
+    # -- BaselineModel API --------------------------------------------------------------
+
+    def calibrate(
+        self, reference: GroundTruthRun, network: Optional[NetworkConfig] = None
+    ) -> None:
+        """Set the computation-latency and power constants from a reference run."""
+        network = network if network is not None else NetworkConfig()
+        app = reference.app
+        communication = self._communication_ms(app, network)
+        computation = reference.mean_latency_ms - communication
+        if computation <= 0.0:
+            raise ModelDomainError(
+                "reference run latency is smaller than its communication latency; "
+                "cannot calibrate FACT"
+            )
+        self._reference_app = app
+        self._reference_computation_ms = computation
+        self._reference_power_w = reference.mean_energy_mj / reference.mean_latency_ms
+        self._calibrated = True
+
+    def latency_ms(
+        self, app: ApplicationConfig, network: Optional[NetworkConfig] = None
+    ) -> float:
+        """FACT latency: cycles-based computation scaling plus transmission.
+
+        The whole computation blob scales with the task complexity (the
+        frame-size sweep variable, which the paper already expresses in
+        pixel^2) and inversely with the CPU clock — FACT has no notion of the
+        pipeline's size-independent stages (capture period, sensor waits,
+        buffering), of the CPU/GPU split, or of memory bandwidth, which is
+        where its error against the ground truth comes from.
+        """
+        self._require_calibration()
+        network = network if network is not None else NetworkConfig()
+        reference = self._reference_app
+        complexity_scaling = app.frame_side_px / reference.frame_side_px
+        frequency_scaling = reference.cpu_freq_ghz / app.cpu_freq_ghz
+        computation = self._reference_computation_ms * complexity_scaling * frequency_scaling
+        return computation + self._communication_ms(app, network)
+
+    def energy_mj(
+        self, app: ApplicationConfig, network: Optional[NetworkConfig] = None
+    ) -> float:
+        """FACT energy: one constant device power times the service latency."""
+        self._require_calibration()
+        return self._reference_power_w * self.latency_ms(app, network)

@@ -1,0 +1,112 @@
+"""LEAF baseline (Wang et al., "LEAF + AIO: Edge-assisted energy-aware object
+detection for mobile augmented reality", IEEE TMC 2023) as characterised in
+Section VIII-D.
+
+LEAF improves on FACT by breaking the edge-AR pipeline into segments and
+modeling each segment's latency and energy separately.  The paper's critique
+— which this implementation reproduces — is that LEAF still formulates the
+*computation* latency of each segment the simple way FACT does:
+
+* compute-bound segments scale linearly with the frame size and inversely
+  with the CPU clock frequency (cycles / frequency), ignoring the CPU/GPU
+  allocation split, memory bandwidth and the encoder-parameter dependence of
+  H.264 encoding;
+* non-compute segments (sensor information, transmission, remote inference,
+  handoff) are carried as constants measured at the calibration point;
+* each segment's energy is a constant measured power times the segment
+  latency, without the computation-resource-dependent power model of Eq. (21).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.base import BaselineModel
+from repro.config.application import ApplicationConfig
+from repro.config.network import NetworkConfig
+from repro.core.segments import Segment
+from repro.exceptions import ModelDomainError
+from repro.simulation.testbed import GroundTruthRun
+
+#: Segments LEAF scales with frame size and CPU frequency (compute-bound).
+_SCALED_SEGMENTS = frozenset(
+    {
+        Segment.FRAME_GENERATION,
+        Segment.VOLUMETRIC,
+        Segment.CONVERSION,
+        Segment.ENCODING,
+        Segment.LOCAL_INFERENCE,
+        Segment.RENDERING,
+    }
+)
+
+
+class LEAFModel(BaselineModel):
+    """LEAF's per-segment latency/energy model with cycle-based computation."""
+
+    name = "LEAF"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reference_app: Optional[ApplicationConfig] = None
+        self._segment_latency_ms: Dict[Segment, float] = {}
+        self._segment_power_w: Dict[Segment, float] = {}
+        self._base_power_w: float = 0.0
+
+    # -- BaselineModel API ----------------------------------------------------------------
+
+    def calibrate(
+        self, reference: GroundTruthRun, network: Optional[NetworkConfig] = None
+    ) -> None:
+        """Record per-segment reference latencies and powers from a ground-truth run."""
+        del network  # LEAF's calibration only needs the measured segments.
+        segment_latency = reference.trace.mean_segment_latency_ms()
+        segment_energy = reference.trace.mean_segment_energy_mj()
+        if not segment_latency:
+            raise ModelDomainError("reference run contains no segment measurements")
+        self._reference_app = reference.app
+        self._segment_latency_ms = dict(segment_latency)
+        self._segment_power_w = {}
+        for segment, latency in segment_latency.items():
+            energy = segment_energy.get(segment, 0.0)
+            self._segment_power_w[segment] = energy / latency if latency > 0.0 else 0.0
+        # LEAF measures a device idle power and bills it over the frame time.
+        mean_base_mj = float(
+            sum(frame.base_mj for frame in reference.trace.frames) / len(reference.trace)
+        )
+        self._base_power_w = mean_base_mj / reference.mean_latency_ms
+        self._calibrated = True
+
+    def _segment_prediction_ms(
+        self, segment: Segment, app: ApplicationConfig
+    ) -> float:
+        reference = self._reference_app
+        latency = self._segment_latency_ms[segment]
+        if segment in _SCALED_SEGMENTS:
+            size_scaling = app.frame_side_px / reference.frame_side_px
+            frequency_scaling = reference.cpu_freq_ghz / app.cpu_freq_ghz
+            return latency * size_scaling * frequency_scaling
+        return latency
+
+    def latency_ms(
+        self, app: ApplicationConfig, network: Optional[NetworkConfig] = None
+    ) -> float:
+        """LEAF latency: sum of per-segment predictions."""
+        self._require_calibration()
+        del network  # constants absorbed the network at calibration time
+        return sum(
+            self._segment_prediction_ms(segment, app) for segment in self._segment_latency_ms
+        )
+
+    def energy_mj(
+        self, app: ApplicationConfig, network: Optional[NetworkConfig] = None
+    ) -> float:
+        """LEAF energy: constant per-segment powers times predicted latencies."""
+        self._require_calibration()
+        del network
+        total = 0.0
+        for segment in self._segment_latency_ms:
+            latency = self._segment_prediction_ms(segment, app)
+            total += self._segment_power_w[segment] * latency
+        total += self._base_power_w * self.latency_ms(app)
+        return total

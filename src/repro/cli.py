@@ -1,0 +1,280 @@
+"""Command-line interface of the XR performance analysis framework.
+
+Installed as ``python -m repro``.  Subcommands:
+
+* ``analyze``  — per-frame latency/energy/AoI report for one configuration,
+* ``sweep``    — frame-size x CPU-frequency sweep of the analytical model,
+* ``offload``  — rank local / remote / split inference placements,
+* ``aoi``      — AoI/RoI timelines for a set of sensor frequencies,
+* ``session``  — session-level analysis (tails, battery life, thermals),
+* ``tables``   — print the Table I / Table II reproductions,
+* ``validate`` — quick model-vs-simulated-testbed validation (Fig. 4 style).
+
+Every subcommand prints plain text tables; nothing is written to disk except
+by ``validate`` (which stores artefacts under ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.network import NetworkConfig, SensorConfig
+from repro.config.workload import SweepConfig, WorkloadConfig
+from repro.core.framework import XRPerformanceModel
+from repro.core.session import SessionAnalyzer
+from repro.devices.catalog import DEVICE_CATALOG, EDGE_CATALOG
+from repro.evaluation.report import format_table
+
+
+def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--device",
+        default="XR1",
+        choices=sorted(DEVICE_CATALOG),
+        help="XR device from the Table I catalog",
+    )
+    parser.add_argument(
+        "--edge",
+        default="EDGE-AGX",
+        choices=sorted(EDGE_CATALOG),
+        help="edge server from the Table I catalog",
+    )
+
+
+def _add_operating_point_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--frame-side", type=float, default=500.0, help="frame size (pixel^2 sweep unit)")
+    parser.add_argument("--cpu-freq", type=float, default=2.0, help="CPU clock in GHz")
+    parser.add_argument("--fps", type=float, default=30.0, help="capture frame rate")
+    parser.add_argument(
+        "--mode",
+        default="local",
+        choices=[mode.value for mode in ExecutionMode],
+        help="where the inference task executes",
+    )
+    parser.add_argument("--throughput", type=float, default=200.0, help="wireless throughput in Mbps")
+
+
+def _build_app(args: argparse.Namespace) -> ApplicationConfig:
+    app = ApplicationConfig(
+        frame_side_px=args.frame_side, cpu_freq_ghz=args.cpu_freq, frame_rate_fps=args.fps
+    )
+    return app.with_mode(ExecutionMode(args.mode))
+
+
+def _build_network(args: argparse.Namespace) -> NetworkConfig:
+    return NetworkConfig(throughput_mbps=args.throughput)
+
+
+def _build_model(args: argparse.Namespace) -> XRPerformanceModel:
+    return XRPerformanceModel(
+        device=args.device,
+        edge=args.edge,
+        app=_build_app(args),
+        network=_build_network(args),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    model = _build_model(args)
+    report = model.analyze()
+    print(report.summary())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    model = _build_model(args)
+    sweep = SweepConfig.paper_default()
+    results = model.sweep(
+        frame_sides_px=sweep.frame_sides_px,
+        cpu_freqs_ghz=sweep.cpu_freqs_ghz,
+        mode=ExecutionMode(args.mode),
+    )
+    rows = [
+        (
+            f"{cpu:.0f}",
+            f"{side:.0f}",
+            f"{report.total_latency_ms:.1f}",
+            f"{report.total_energy_mj:.1f}",
+        )
+        for (cpu, side), report in sorted(results.items())
+    ]
+    print(f"Analytical sweep on {args.device} ({args.mode} inference)")
+    print(
+        format_table(
+            rows, headers=("CPU (GHz)", "frame size", "latency (ms)", "energy (mJ)")
+        )
+    )
+    return 0
+
+
+def _cmd_offload(args: argparse.Namespace) -> int:
+    model = _build_model(args)
+    planner = model.offloading_planner(objective=args.objective)
+    decisions = planner.rank(model.app, model.network, n_edge_servers=args.edge_servers)
+    print(f"Placement ranking for {args.device} (objective: {args.objective})")
+    for rank, decision in enumerate(decisions, start=1):
+        print(f"  {rank}. {decision.describe()}")
+    return 0
+
+
+def _cmd_aoi(args: argparse.Namespace) -> int:
+    frequencies = tuple(args.frequencies)
+    workload = WorkloadConfig(
+        sensor_frequencies_hz=frequencies,
+        sensor_distances_m=tuple([args.distance] * len(frequencies)),
+        required_update_period_ms=args.required_period,
+        horizon_ms=args.horizon,
+    )
+    model = XRPerformanceModel(device=args.device, edge=args.edge)
+    rows = []
+    for timeline in model.aoi_timelines(workload):
+        rows.append(
+            (
+                f"{timeline.generation_frequency_hz:.0f}",
+                f"{timeline.aoi_ms[0]:.1f}" if timeline.n_updates else "-",
+                f"{timeline.final_aoi_ms:.1f}",
+                f"{timeline.roi[-1]:.2f}" if timeline.n_updates else "-",
+                "yes" if timeline.is_fresh else "no",
+            )
+        )
+    print(
+        f"AoI over {args.horizon:.0f} ms, one update required every "
+        f"{args.required_period:.1f} ms"
+    )
+    print(
+        format_table(
+            rows,
+            headers=("sensor (Hz)", "first AoI (ms)", "final AoI (ms)", "final RoI", "fresh?"),
+        )
+    )
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    model = _build_model(args)
+    analyzer = SessionAnalyzer(model, use_simulation=not args.analytical, seed=args.seed)
+    report = analyzer.analyze_session(n_frames=args.frames)
+    print(f"Session analysis on {args.device} ({args.frames} frames, {args.mode} inference)")
+    print(report.summary())
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.evaluation.tables import table_1, table_2
+
+    del args
+    print(table_1().to_text())
+    print()
+    print(table_2().to_text())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.evaluation.figures import FigureContext, figure_4a, figure_4b, figure_4c, figure_4d
+
+    context = FigureContext(quick=args.quick)
+    print("Model-vs-simulated-testbed validation (Fig. 4 reproduction)")
+    rows = []
+    for generator in (figure_4a, figure_4b, figure_4c, figure_4d):
+        figure = generator(context=context)
+        rows.append(
+            (
+                f"Fig. {figure.figure_id}",
+                f"{figure.paper_mean_error_percent:.2f}%",
+                f"{figure.mean_error_percent:.2f}%",
+            )
+        )
+    print(format_table(rows, headers=("panel", "paper mean error", "reproduction mean error")))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Performance analysis modeling framework for XR applications "
+        "in edge-assisted wireless networks (ICDCS 2024 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="per-frame latency/energy/AoI report")
+    _add_device_arguments(analyze)
+    _add_operating_point_arguments(analyze)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    sweep = subparsers.add_parser("sweep", help="frame-size x CPU-frequency sweep")
+    _add_device_arguments(sweep)
+    _add_operating_point_arguments(sweep)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    offload = subparsers.add_parser("offload", help="rank inference placements")
+    _add_device_arguments(offload)
+    _add_operating_point_arguments(offload)
+    offload.add_argument(
+        "--objective", default="latency", choices=("latency", "energy", "weighted")
+    )
+    offload.add_argument("--edge-servers", type=int, default=1)
+    offload.set_defaults(handler=_cmd_offload)
+
+    aoi = subparsers.add_parser("aoi", help="AoI/RoI timelines for sensor frequencies")
+    _add_device_arguments(aoi)
+    aoi.add_argument(
+        "--frequencies",
+        type=float,
+        nargs="+",
+        default=[200.0, 100.0, 66.67],
+        help="sensor information-generation frequencies in Hz",
+    )
+    aoi.add_argument("--required-period", type=float, default=5.0)
+    aoi.add_argument("--horizon", type=float, default=90.0)
+    aoi.add_argument("--distance", type=float, default=15.0)
+    aoi.set_defaults(handler=_cmd_aoi)
+
+    session = subparsers.add_parser("session", help="session-level analysis")
+    _add_device_arguments(session)
+    _add_operating_point_arguments(session)
+    session.add_argument("--frames", type=int, default=300)
+    session.add_argument("--seed", type=int, default=0)
+    session.add_argument(
+        "--analytical",
+        action="store_true",
+        help="use the deterministic analytical model instead of simulated frames",
+    )
+    session.set_defaults(handler=_cmd_session)
+
+    tables = subparsers.add_parser("tables", help="print the Table I / II reproductions")
+    tables.set_defaults(handler=_cmd_tables)
+
+    validate = subparsers.add_parser(
+        "validate", help="quick model-vs-simulated-testbed validation"
+    )
+    validate.add_argument("--quick", action="store_true", help="use the reduced sweep")
+    validate.set_defaults(handler=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

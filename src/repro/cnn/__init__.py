@@ -1,0 +1,21 @@
+"""CNN model descriptors (Table II) and the CNN complexity model (Eq. 12).
+
+The performance framework never executes real neural networks: the paper's
+models only consume a CNN through its depth (number of layers), storage size
+(MB) and depth-scaling factor, combined into a scalar complexity ``C_CNN``
+by the regression of Eq. (12).  This package provides the descriptor type,
+the zoo of the 11 CNNs used in the paper, and the complexity model.
+"""
+
+from repro.cnn.complexity import CNNComplexityModel, PAPER_COMPLEXITY_COEFFICIENTS
+from repro.cnn.model import CNNModel
+from repro.cnn.zoo import CNN_ZOO, get_cnn, list_cnns
+
+__all__ = [
+    "CNNComplexityModel",
+    "CNNModel",
+    "CNN_ZOO",
+    "PAPER_COMPLEXITY_COEFFICIENTS",
+    "get_cnn",
+    "list_cnns",
+]

@@ -1,0 +1,134 @@
+"""The CNN zoo: the 11 models of Table II.
+
+Depths and storage sizes are copied from Table II of the paper.  The nominal
+input resolution is encoded in each model's name (240/300/640) or taken from
+the reference implementation (YOLO at 640, EfficientNet-Lite at 320, NasNet
+at 331).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cnn.model import CNNModel
+from repro.exceptions import UnknownCNNError
+
+#: All CNN models used in the paper, keyed by their Table II name.
+CNN_ZOO: Dict[str, CNNModel] = {
+    model.name: model
+    for model in (
+        CNNModel(
+            name="MobileNetv1_240 Float",
+            depth=31,
+            size_mb=16.9,
+            gpu_support=True,
+            quantized=False,
+            input_side_px=240.0,
+        ),
+        CNNModel(
+            name="MobileNetv1_240 Quant",
+            depth=31,
+            size_mb=4.3,
+            gpu_support=False,
+            quantized=True,
+            input_side_px=240.0,
+        ),
+        CNNModel(
+            name="MobileNetv2_300 Float",
+            depth=99,
+            size_mb=24.2,
+            gpu_support=True,
+            quantized=False,
+            input_side_px=300.0,
+        ),
+        CNNModel(
+            name="MobileNetv2_300 Quant",
+            depth=112,
+            size_mb=6.9,
+            gpu_support=False,
+            quantized=True,
+            input_side_px=300.0,
+        ),
+        CNNModel(
+            name="MobileNetv2_640 Float",
+            depth=155,
+            size_mb=12.3,
+            gpu_support=True,
+            quantized=False,
+            input_side_px=640.0,
+        ),
+        CNNModel(
+            name="MobileNetv2_640 Quant",
+            depth=167,
+            size_mb=4.5,
+            gpu_support=False,
+            quantized=True,
+            input_side_px=640.0,
+        ),
+        CNNModel(
+            name="EfficientNet Float",
+            depth=62,
+            size_mb=18.6,
+            gpu_support=True,
+            quantized=False,
+            input_side_px=320.0,
+        ),
+        CNNModel(
+            name="EfficientNet Quant",
+            depth=65,
+            size_mb=5.4,
+            gpu_support=False,
+            quantized=True,
+            input_side_px=320.0,
+        ),
+        CNNModel(
+            name="NasNet Float",
+            depth=663,
+            size_mb=21.4,
+            gpu_support=True,
+            quantized=False,
+            input_side_px=331.0,
+        ),
+        CNNModel(
+            name="YOLOv3",
+            depth=106,
+            size_mb=210.0,
+            gpu_support=True,
+            quantized=False,
+            input_side_px=640.0,
+            tier="server",
+        ),
+        CNNModel(
+            name="YOLOv7",
+            depth=106,
+            size_mb=142.8,
+            gpu_support=True,
+            quantized=False,
+            depth_scale=1.5,
+            input_side_px=640.0,
+            tier="server",
+        ),
+    )
+}
+
+
+def get_cnn(name: str) -> CNNModel:
+    """Look up a CNN model by its Table II name.
+
+    Raises:
+        UnknownCNNError: if the name is not in the zoo.
+    """
+    try:
+        return CNN_ZOO[name]
+    except KeyError as error:
+        raise UnknownCNNError(
+            f"unknown CNN model {name!r}; available: {sorted(CNN_ZOO)}"
+        ) from error
+
+
+def list_cnns(tier: str | None = None) -> List[CNNModel]:
+    """All CNN models, optionally filtered by tier (``"lightweight"`` / ``"server"``)."""
+    models = [CNN_ZOO[name] for name in sorted(CNN_ZOO)]
+    if tier is None:
+        return models
+    return [model for model in models if model.tier == tier]

@@ -1,0 +1,93 @@
+"""End-to-end energy consumption analysis model (Section V, Eqs. 19-21).
+
+The energy of each pipeline segment is the integral of the segment's power
+draw over its latency (Eq. 20); with the per-segment mean powers of the
+power model this reduces to ``power x latency`` per segment.  On top of the
+segment energies the model adds the thermal conversion term ``E_theta``
+(a fraction of the computation energy) and the base energy ``E_base``
+(always-on background power over the whole frame latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config.application import ApplicationConfig
+from repro.config.network import NetworkConfig
+from repro.core.latency import XRLatencyModel
+from repro.core.power import PowerModel
+from repro.core.results import EnergyBreakdown, LatencyBreakdown
+from repro.core.segments import COMPUTE_SEGMENTS, Segment
+
+
+@dataclass
+class XREnergyModel:
+    """Analytical per-frame energy model of the XR pipeline.
+
+    Attributes:
+        latency_model: the latency model supplying per-segment latencies.
+        power_model: the power model supplying per-segment power draws.
+    """
+
+    latency_model: XRLatencyModel
+    power_model: PowerModel
+
+    # -- per-segment energy -------------------------------------------------------
+
+    def segment_energy_mj(
+        self,
+        segment: Segment,
+        latency_ms: float,
+        app: ApplicationConfig,
+        network: NetworkConfig,
+    ) -> float:
+        """Energy (mJ) of one segment given its latency (the Eq. 20 integrand)."""
+        power_w = self.power_model.segment_power_w(segment, app, network)
+        return power_w * latency_ms
+
+    # -- end-to-end ----------------------------------------------------------------
+
+    def from_latency_breakdown(
+        self,
+        breakdown: LatencyBreakdown,
+        app: ApplicationConfig,
+        network: NetworkConfig,
+    ) -> EnergyBreakdown:
+        """Energy breakdown corresponding to an existing latency breakdown.
+
+        The remote-inference latency is spent waiting for the edge server, so
+        the XR device only draws its (low) remote-inference power factor
+        during it; the edge server's own energy is not billed to the device,
+        matching the paper's device-centric energy model.
+        """
+        per_segment: Dict[Segment, float] = {}
+        for segment, latency_ms in breakdown.per_segment_ms.items():
+            per_segment[segment] = self.segment_energy_mj(
+                segment, latency_ms, app, network
+            )
+
+        compute_energy = sum(
+            energy
+            for segment, energy in per_segment.items()
+            if segment in breakdown.included_segments and segment in COMPUTE_SEGMENTS
+        )
+        thermal = self.power_model.thermal_energy_mj(compute_energy)
+        base = self.power_model.base_energy_mj(breakdown.total_ms)
+        return EnergyBreakdown(
+            per_segment_mj=per_segment,
+            included_segments=breakdown.included_segments,
+            thermal_mj=thermal,
+            base_mj=base,
+            mode=breakdown.mode,
+            mean_power_w=self.power_model.mean_power_for(app),
+        )
+
+    def end_to_end(
+        self, app: ApplicationConfig, network: Optional[NetworkConfig] = None
+    ) -> EnergyBreakdown:
+        """Evaluate the full per-frame energy breakdown (Eq. 19)."""
+        if network is None:
+            network = NetworkConfig()
+        latency = self.latency_model.end_to_end(app, network)
+        return self.from_latency_breakdown(latency, app, network)

@@ -1,0 +1,340 @@
+"""End-to-end latency analysis model (Section IV, Eqs. 1-18).
+
+:class:`XRLatencyModel` evaluates the latency of every segment of the
+object-detection XR pipeline for one frame and assembles the end-to-end
+latency of Eq. (1).  The model is purely analytical: it consumes the device
+and edge specifications, the application configuration and the network
+configuration, and never simulates anything — the simulated testbed in
+:mod:`repro.simulation` provides the ground truth this model is validated
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro import units
+from repro.cnn.model import CNNModel
+from repro.cnn.zoo import get_cnn
+from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.device import DeviceSpec, EdgeServerSpec
+from repro.config.network import NetworkConfig
+from repro.core.coefficients import CoefficientSet
+from repro.core.resources import ComputeResourceModel
+from repro.core.results import LatencyBreakdown
+from repro.core.segments import (
+    COMMON_SEGMENTS,
+    LOCAL_ONLY_SEGMENTS,
+    REMOTE_ONLY_SEGMENTS,
+    Segment,
+)
+from repro.exceptions import ConfigurationError, ModelDomainError
+from repro.network.handoff import HandoffModel
+from repro.network.wifi import WifiLink
+from repro.sensors.buffer import InputBuffer
+from repro.sensors.sensor import ExternalSensor
+
+#: Data size of an inference result (bounding boxes + labels) handed to the
+#: renderer, in MB.  Used for the result-transfer term of Eq. (8).
+INFERENCE_RESULT_SIZE_MB: float = 0.05
+
+#: Valid values of the CNN-complexity placement mode (see DESIGN.md).
+COMPLEXITY_MODES = ("paper", "proportional")
+
+
+@dataclass
+class XRLatencyModel:
+    """Analytical per-frame latency model of the XR pipeline.
+
+    Attributes:
+        device: XR client device specification.
+        edge: edge server specification used by the remote-inference path
+            (may be None for purely local analyses).
+        coefficients: regression coefficient set.
+        complexity_mode: how CNN complexity enters the inference latency.
+            ``"paper"`` follows Eq. (11)/(13) verbatim (complexity in the
+            denominator); ``"proportional"`` multiplies by the complexity
+            instead (see DESIGN.md for the rationale).
+    """
+
+    device: DeviceSpec
+    edge: Optional[EdgeServerSpec] = None
+    coefficients: CoefficientSet = field(default_factory=CoefficientSet.paper)
+    complexity_mode: str = "paper"
+
+    def __post_init__(self) -> None:
+        if self.complexity_mode not in COMPLEXITY_MODES:
+            raise ConfigurationError(
+                f"complexity_mode must be one of {COMPLEXITY_MODES}, "
+                f"got {self.complexity_mode!r}"
+            )
+        self.resources = ComputeResourceModel(self.coefficients)
+
+    # ------------------------------------------------------------------ helpers --
+
+    def client_compute(self, app: ApplicationConfig) -> float:
+        """Allocated client compute ``c_client`` (Eq. 3)."""
+        return self.resources.client_compute_for(app)
+
+    def edge_compute(self, app: ApplicationConfig) -> float:
+        """Allocated edge compute ``c_epsilon``."""
+        return self.resources.edge_compute_for(app, edge=self.edge)
+
+    def _client_memory_ms(self, data_size_mb: float) -> float:
+        return units.memory_access_latency_ms(
+            data_size_mb, self.device.memory_bandwidth_gb_s
+        )
+
+    def _edge_memory_ms(self, data_size_mb: float) -> float:
+        if self.edge is None:
+            raise ModelDomainError(
+                "remote inference requires an edge server specification"
+            )
+        return units.memory_access_latency_ms(data_size_mb, self.edge.memory_bandwidth_gb_s)
+
+    def _local_cnn(self, app: ApplicationConfig) -> CNNModel:
+        return get_cnn(app.inference.local_cnn)
+
+    def _remote_cnn(self, app: ApplicationConfig) -> CNNModel:
+        return get_cnn(app.inference.remote_cnn)
+
+    def converted_frame_side_px(self, app: ApplicationConfig) -> float:
+        """Converted frame side ``s_f2``: explicit config or the local CNN input size."""
+        if app.converted_frame_side_px is not None:
+            return app.converted_frame_side_px
+        return self._local_cnn(app).input_side_px
+
+    def _inference_compute_ms(
+        self, task_size_px: float, compute: float, complexity: float
+    ) -> float:
+        """Inference compute term, honouring the configured complexity mode."""
+        if compute <= 0.0 or complexity <= 0.0:
+            raise ModelDomainError(
+                f"compute ({compute}) and complexity ({complexity}) must be > 0"
+            )
+        if self.complexity_mode == "paper":
+            return task_size_px / (compute * complexity)
+        return task_size_px * complexity / compute
+
+    # --------------------------------------------------------------- segments ----
+
+    def frame_generation_ms(self, app: ApplicationConfig) -> float:
+        """Frame generation latency ``L_fg`` (Eq. 2)."""
+        compute = self.client_compute(app)
+        return (
+            app.frame_period_ms
+            + app.frame_side_px / compute
+            + self._client_memory_ms(app.raw_frame_size_mb)
+        )
+
+    def volumetric_ms(self, app: ApplicationConfig) -> float:
+        """Volumetric data generation latency ``L_vol`` (Eq. 4)."""
+        compute = self.client_compute(app)
+        return app.virtual_scene_side_px / compute + self._client_memory_ms(
+            app.virtual_scene_data_mb
+        )
+
+    def external_information_ms(
+        self, app: ApplicationConfig, network: NetworkConfig
+    ) -> float:
+        """External sensor information latency ``L_ext`` (Eqs. 5-6).
+
+        The per-sensor latency of ``N`` updates accumulates sequentially;
+        sensors deliver in parallel, so the slowest sensor dominates (the
+        ``max`` of Eq. 5).
+        """
+        if not network.sensors or app.sensor_updates_per_frame == 0:
+            return 0.0
+        totals = []
+        for config in network.sensors:
+            sensor = ExternalSensor(
+                config=config,
+                propagation_speed_m_per_s=network.propagation_speed_m_per_s,
+            )
+            totals.append(sensor.total_latency_ms(app.sensor_updates_per_frame))
+        return max(totals)
+
+    def conversion_ms(self, app: ApplicationConfig) -> float:
+        """Frame conversion (YUV->RGB, scale, crop) latency ``L_fc`` (Eq. 9)."""
+        compute = self.client_compute(app)
+        return app.frame_side_px / compute + self._client_memory_ms(app.raw_frame_size_mb)
+
+    def encoding_ms(self, app: ApplicationConfig) -> float:
+        """Frame encoding latency ``L_en`` (Eq. 10)."""
+        compute = self.client_compute(app)
+        numerator = self.coefficients.encoding.numerator(
+            i_frame_interval=app.encoder.i_frame_interval,
+            b_frame_count=app.encoder.b_frame_count,
+            bitrate_mbps=app.encoder.bitrate_mbps,
+            frame_side_px=app.frame_side_px,
+            frame_rate_fps=app.frame_rate_fps,
+            quantization=app.encoder.quantization,
+        )
+        return numerator / compute + self._client_memory_ms(app.raw_frame_size_mb)
+
+    def local_inference_ms(self, app: ApplicationConfig) -> float:
+        """Local inference latency ``L_loc`` (Eq. 11)."""
+        share = app.inference.omega_client
+        if share == 0.0:
+            return 0.0
+        cnn = self._local_cnn(app)
+        complexity = self.coefficients.cnn_complexity.complexity(cnn)
+        compute = self.client_compute(app)
+        converted_side = self.converted_frame_side_px(app)
+        converted_size_mb = app.converted_frame_size_mb(converted_side)
+        return share * (
+            self._inference_compute_ms(converted_side, compute, complexity)
+            + self._client_memory_ms(converted_size_mb)
+        )
+
+    def decoding_ms(self, app: ApplicationConfig) -> float:
+        """Edge-side decoding latency ``L_dec`` (Eq. 14)."""
+        compute = self.client_compute(app)
+        encoding_compute_ms = (
+            self.coefficients.encoding.numerator(
+                i_frame_interval=app.encoder.i_frame_interval,
+                b_frame_count=app.encoder.b_frame_count,
+                bitrate_mbps=app.encoder.bitrate_mbps,
+                frame_side_px=app.frame_side_px,
+                frame_rate_fps=app.frame_rate_fps,
+                quantization=app.encoder.quantization,
+            )
+            / compute
+        )
+        edge_compute = self.edge_compute(app)
+        return (
+            encoding_compute_ms
+            * self.coefficients.decode_discount
+            * compute
+            / edge_compute
+        )
+
+    def remote_inference_ms(self, app: ApplicationConfig) -> float:
+        """Remote inference latency ``L_rem`` (Eqs. 13 and 15).
+
+        With several edge servers the task executes in parallel and the
+        slowest share dominates (Eq. 15).  All edge servers are assumed to
+        share the configured edge specification.
+        """
+        shares = app.inference.edge_shares
+        if not shares:
+            return 0.0
+        if self.edge is None:
+            raise ModelDomainError(
+                "remote inference requires an edge server specification"
+            )
+        cnn = self._remote_cnn(app)
+        complexity = self.coefficients.cnn_complexity.complexity(cnn)
+        edge_compute = self.edge_compute(app)
+        decode = self.decoding_ms(app)
+        encoded_size_mb = app.encoded_frame_size_mb
+        per_share = []
+        for share in shares:
+            if share == 0.0:
+                per_share.append(0.0)
+                continue
+            per_share.append(
+                share
+                * (
+                    self._inference_compute_ms(app.frame_side_px, edge_compute, complexity)
+                    + self._edge_memory_ms(encoded_size_mb)
+                    + decode
+                )
+            )
+        return max(per_share)
+
+    def transmission_ms(self, app: ApplicationConfig, network: NetworkConfig) -> float:
+        """Wireless transmission latency ``L_tr`` (Eq. 16)."""
+        link = WifiLink(config=network)
+        return link.transmission_latency_ms(app.encoded_frame_size_mb)
+
+    def handoff_ms(self, app: ApplicationConfig, network: NetworkConfig) -> float:
+        """Average per-frame handoff latency ``L_HO`` (Eq. 17)."""
+        model = HandoffModel(network.handoff)
+        return model.mean_handoff_latency_ms(app.frame_period_ms)
+
+    def buffering_ms(self, app: ApplicationConfig, network: NetworkConfig) -> float:
+        """Input-buffer delay ``t_buff`` (Eq. 7), via the M/M/1 model."""
+        buffer = InputBuffer(app.buffer_service_rate_hz)
+        return buffer.analytical_delays(app, network).total_ms
+
+    def result_transfer_ms(
+        self, app: ApplicationConfig, network: NetworkConfig, local: bool
+    ) -> float:
+        """Latency of moving the inference result to the renderer (Eq. 8 terms)."""
+        if local:
+            return self._client_memory_ms(INFERENCE_RESULT_SIZE_MB)
+        link = WifiLink(config=network)
+        return link.transmission_latency_ms(INFERENCE_RESULT_SIZE_MB)
+
+    def rendering_ms(self, app: ApplicationConfig, network: NetworkConfig) -> float:
+        """Frame rendering latency ``L_ren`` (Eq. 8)."""
+        compute = self.client_compute(app)
+        local = app.inference.mode is ExecutionMode.LOCAL
+        return (
+            app.frame_side_px / compute
+            + self._client_memory_ms(app.raw_frame_size_mb)
+            + self.buffering_ms(app, network)
+            + self.result_transfer_ms(app, network, local=local)
+        )
+
+    def cooperation_ms(self, app: ApplicationConfig, network: NetworkConfig) -> float:
+        """XR cooperation latency ``L_coop`` (Eq. 18)."""
+        if not app.cooperation.enabled:
+            return 0.0
+        link = WifiLink(config=network)
+        serialization = units.transmission_latency_ms(
+            app.cooperation.data_size_mb, link.throughput_mbps()
+        )
+        propagation = network.propagation_delay_ms(app.cooperation.distance_m)
+        return serialization + propagation
+
+    # ------------------------------------------------------------- end-to-end ----
+
+    def end_to_end(
+        self, app: ApplicationConfig, network: Optional[NetworkConfig] = None
+    ) -> LatencyBreakdown:
+        """Evaluate the full per-frame latency breakdown (Eq. 1)."""
+        if network is None:
+            network = NetworkConfig()
+        mode = app.inference.mode
+        local = mode is ExecutionMode.LOCAL
+        uses_local_path = local or (
+            mode is ExecutionMode.SPLIT and app.inference.omega_client > 0.0
+        )
+        uses_remote_path = not local
+
+        per_segment: Dict[Segment, float] = {
+            Segment.FRAME_GENERATION: self.frame_generation_ms(app),
+            Segment.VOLUMETRIC: self.volumetric_ms(app),
+            Segment.EXTERNAL: self.external_information_ms(app, network),
+            Segment.RENDERING: self.rendering_ms(app, network),
+        }
+        if uses_local_path:
+            per_segment[Segment.CONVERSION] = self.conversion_ms(app)
+            per_segment[Segment.LOCAL_INFERENCE] = self.local_inference_ms(app)
+        if uses_remote_path:
+            per_segment[Segment.ENCODING] = self.encoding_ms(app)
+            per_segment[Segment.REMOTE_INFERENCE] = self.remote_inference_ms(app)
+            per_segment[Segment.TRANSMISSION] = self.transmission_ms(app, network)
+            per_segment[Segment.HANDOFF] = self.handoff_ms(app, network)
+        if app.cooperation.enabled:
+            per_segment[Segment.COOPERATION] = self.cooperation_ms(app, network)
+
+        included = set(COMMON_SEGMENTS)
+        if uses_local_path:
+            included |= LOCAL_ONLY_SEGMENTS
+        if uses_remote_path:
+            included |= REMOTE_ONLY_SEGMENTS
+        if app.cooperation.enabled and app.cooperation.include_in_totals:
+            included.add(Segment.COOPERATION)
+        included &= set(per_segment)
+
+        return LatencyBreakdown(
+            per_segment_ms=per_segment,
+            included_segments=frozenset(included),
+            mode=mode,
+            client_compute=self.client_compute(app),
+            edge_compute=self.edge_compute(app) if uses_remote_path and self.edge else None,
+        )

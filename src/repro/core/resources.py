@@ -1,0 +1,95 @@
+"""Computation-resource availability model (Eq. 3) and the client/edge relation.
+
+The XR application requests processing-unit allocations from the device OS;
+the resulting effective compute resource ``c_client`` is modelled by the
+blended quadratic regression of Eq. (3) over the CPU/GPU clocks and the
+CPU utilisation share.  The edge server's allocated compute ``c_epsilon``
+follows the measured proportionality ``c_epsilon = 11.76 c_client``
+(Section IV-B), optionally overridden by an
+:class:`~repro.config.device.EdgeServerSpec`'s own scale factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.application import ApplicationConfig
+from repro.config.device import EdgeServerSpec
+from repro.core.coefficients import CoefficientSet
+from repro.exceptions import ModelDomainError
+
+
+@dataclass(frozen=True)
+class ComputeResourceModel:
+    """Evaluates allocated compute resources for client and edge devices.
+
+    Attributes:
+        coefficients: the regression coefficient set in use.
+        floor: lower clamp applied to the evaluated client compute.  The
+            paper's published Eq. (3) coefficients can dip to very small (or,
+            for some GPU clocks, negative) values outside the fitted domain;
+            clamping keeps downstream latency finite while
+            :attr:`clamp_is_error` is False.  Setting ``clamp_is_error=True``
+            turns an out-of-domain evaluation into a
+            :class:`~repro.exceptions.ModelDomainError` instead.
+        clamp_is_error: raise instead of clamping when the evaluation falls
+            below the floor.
+    """
+
+    coefficients: CoefficientSet
+    floor: float = 0.5
+    clamp_is_error: bool = False
+
+    def __post_init__(self) -> None:
+        if self.floor <= 0.0:
+            raise ModelDomainError(f"compute floor must be > 0, got {self.floor}")
+
+    # -- client ------------------------------------------------------------------
+
+    def client_compute(
+        self, cpu_freq_ghz: float, gpu_freq_ghz: float, cpu_share: float
+    ) -> float:
+        """Allocated client compute ``c_client`` (Eq. 3)."""
+        value = self.coefficients.resource.evaluate(cpu_freq_ghz, gpu_freq_ghz, cpu_share)
+        if value < self.floor:
+            if self.clamp_is_error:
+                raise ModelDomainError(
+                    f"compute resource evaluated to {value:.3f} below the floor "
+                    f"{self.floor}; operating point (cpu={cpu_freq_ghz} GHz, "
+                    f"gpu={gpu_freq_ghz} GHz, share={cpu_share}) is outside the model domain"
+                )
+            return self.floor
+        return value
+
+    def client_compute_for(self, app: ApplicationConfig) -> float:
+        """Client compute for an application configuration's operating point."""
+        return self.client_compute(app.cpu_freq_ghz, app.gpu_freq_ghz, app.cpu_share)
+
+    # -- edge --------------------------------------------------------------------
+
+    def edge_compute(
+        self, client_compute: float, edge: Optional[EdgeServerSpec] = None
+    ) -> float:
+        """Allocated edge compute ``c_epsilon`` for a given client compute.
+
+        Uses the edge server's own ``compute_scale_vs_client`` when a spec is
+        provided, otherwise the coefficient set's global scale (11.76 for the
+        paper's measurements).
+        """
+        if client_compute <= 0.0:
+            raise ModelDomainError(
+                f"client compute must be > 0, got {client_compute}"
+            )
+        scale = (
+            edge.compute_scale_vs_client
+            if edge is not None
+            else self.coefficients.edge_compute_scale
+        )
+        return scale * client_compute
+
+    def edge_compute_for(
+        self, app: ApplicationConfig, edge: Optional[EdgeServerSpec] = None
+    ) -> float:
+        """Edge compute for an application configuration's operating point."""
+        return self.edge_compute(self.client_compute_for(app), edge=edge)

@@ -1,0 +1,96 @@
+"""Pipeline segment taxonomy.
+
+One enumeration names every segment of the object-detection XR pipeline of
+Fig. 1, and records which segments belong to the local-inference path, the
+remote-inference path, or both, so the latency/energy models can assemble
+Eq. (1) / Eq. (19) without hard-coding segment lists in several places.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class Segment(str, enum.Enum):
+    """Segments of the XR object-detection pipeline (Fig. 1)."""
+
+    FRAME_GENERATION = "frame_generation"
+    VOLUMETRIC = "volumetric"
+    EXTERNAL = "external"
+    CONVERSION = "conversion"
+    ENCODING = "encoding"
+    LOCAL_INFERENCE = "local_inference"
+    REMOTE_INFERENCE = "remote_inference"
+    TRANSMISSION = "transmission"
+    HANDOFF = "handoff"
+    RENDERING = "rendering"
+    COOPERATION = "cooperation"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Segments present regardless of where inference executes.
+COMMON_SEGMENTS: FrozenSet[Segment] = frozenset(
+    {
+        Segment.FRAME_GENERATION,
+        Segment.VOLUMETRIC,
+        Segment.EXTERNAL,
+        Segment.RENDERING,
+    }
+)
+
+#: Segments active only on the local-inference path (``omega_loc = 1``).
+LOCAL_ONLY_SEGMENTS: FrozenSet[Segment] = frozenset(
+    {Segment.CONVERSION, Segment.LOCAL_INFERENCE}
+)
+
+#: Segments active only on the remote-inference path (``omega_loc = 0``).
+REMOTE_ONLY_SEGMENTS: FrozenSet[Segment] = frozenset(
+    {
+        Segment.ENCODING,
+        Segment.REMOTE_INFERENCE,
+        Segment.TRANSMISSION,
+        Segment.HANDOFF,
+    }
+)
+
+#: Segments that execute on the device's compute complex (CPU/GPU); these are
+#: the segments whose power scales with the mean computation power of Eq. (21)
+#: and whose energy contributes to the thermal conversion term.
+COMPUTE_SEGMENTS: FrozenSet[Segment] = frozenset(
+    {
+        Segment.FRAME_GENERATION,
+        Segment.VOLUMETRIC,
+        Segment.CONVERSION,
+        Segment.ENCODING,
+        Segment.LOCAL_INFERENCE,
+        Segment.RENDERING,
+    }
+)
+
+#: Segments that use the radio rather than the compute complex.
+RADIO_SEGMENTS: FrozenSet[Segment] = frozenset(
+    {Segment.TRANSMISSION, Segment.HANDOFF, Segment.COOPERATION}
+)
+
+
+def segments_for_mode(local_inference: bool, include_cooperation: bool) -> FrozenSet[Segment]:
+    """The set of segments contributing to the end-to-end totals (Eq. 1).
+
+    Args:
+        local_inference: True when inference executes on the XR device
+            (``omega_loc = 1``), False for the remote/split path.
+        include_cooperation: whether the XR-cooperation segment is billed to
+            the end-to-end totals (the paper excludes it by default because it
+            runs in parallel with rendering).
+    """
+    segments = set(COMMON_SEGMENTS)
+    if local_inference:
+        segments |= LOCAL_ONLY_SEGMENTS
+    else:
+        segments |= REMOTE_ONLY_SEGMENTS
+    if include_cooperation:
+        segments.add(Segment.COOPERATION)
+    return frozenset(segments)

@@ -1,0 +1,42 @@
+"""Device substrate: catalog (Table I), runtime device models, power rail.
+
+The analytical framework consumes devices through a small number of
+aggregate parameters (clock frequencies, memory bandwidth, base power); the
+simulated testbed consumes the richer runtime models defined here
+(:class:`~repro.devices.device.XRDevice`,
+:class:`~repro.devices.edge_server.EdgeServer`) which add battery, thermal
+and sampled power-rail behaviour.
+"""
+
+from repro.devices.battery import Battery
+from repro.devices.catalog import (
+    DEVICE_CATALOG,
+    EDGE_CATALOG,
+    TEST_DEVICES,
+    TRAIN_DEVICES,
+    get_device,
+    get_edge_server,
+    list_devices,
+    list_edge_servers,
+)
+from repro.devices.device import XRDevice
+from repro.devices.edge_server import EdgeServer
+from repro.devices.power_rail import PowerRail, PowerSample
+from repro.devices.thermals import ThermalModel
+
+__all__ = [
+    "Battery",
+    "DEVICE_CATALOG",
+    "EDGE_CATALOG",
+    "EdgeServer",
+    "PowerRail",
+    "PowerSample",
+    "TEST_DEVICES",
+    "TRAIN_DEVICES",
+    "ThermalModel",
+    "XRDevice",
+    "get_device",
+    "get_edge_server",
+    "list_devices",
+    "list_edge_servers",
+]

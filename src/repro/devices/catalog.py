@@ -1,0 +1,240 @@
+"""Device catalog reproducing Table I of the paper.
+
+Seven XR devices (smartphones, Google Glass, Meta Quest 2, plus a Jetson TX2
+that doubles as external sensor host and as device "XR7") and two Nvidia
+Jetson boards used as the edge tier.  Memory bandwidth and power figures are
+not printed in Table I; they are filled in from the respective SoC
+datasheets (LPDDR4/4X/5 peak bandwidths, Jetson module specifications) since
+the latency and energy models need them.
+
+The catalog also records the paper's train/test split: regression models are
+trained on XR1, XR3, XR5 and XR6 and tested on XR2, XR4 and XR7
+(Section VII).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config.device import DeviceSpec, EdgeServerSpec
+from repro.exceptions import UnknownDeviceError
+
+#: XR client devices of Table I, keyed by their short name.
+DEVICE_CATALOG: Dict[str, DeviceSpec] = {
+    "XR1": DeviceSpec(
+        name="XR1",
+        model="Huawei Mate 40 Pro",
+        soc="Kirin 9000",
+        process_nm=5,
+        cpu_cores=8,
+        cpu_max_freq_ghz=3.13,
+        gpu_name="Mali G78",
+        gpu_max_freq_ghz=0.76,
+        ram_gb=8.0,
+        memory_type="LPDDR5",
+        memory_bandwidth_gb_s=44.0,
+        os_name="Android 10",
+        wifi_standards=("a", "b", "g", "n", "ac", "ax"),
+        release="October, 2020",
+        base_power_w=0.50,
+        thermal_fraction=0.06,
+        battery_capacity_mah=4400.0,
+    ),
+    "XR2": DeviceSpec(
+        name="XR2",
+        model="OnePlus 8 Pro",
+        soc="Snapdragon 865",
+        process_nm=7,
+        cpu_cores=8,
+        cpu_max_freq_ghz=2.84,
+        gpu_name="Adreno 650",
+        gpu_max_freq_ghz=0.587,
+        ram_gb=8.0,
+        memory_type="LPDDR5",
+        memory_bandwidth_gb_s=44.0,
+        os_name="Android 10",
+        wifi_standards=("a", "b", "g", "n", "ac", "ax"),
+        release="April, 2020",
+        base_power_w=0.48,
+        thermal_fraction=0.06,
+        battery_capacity_mah=4510.0,
+    ),
+    "XR3": DeviceSpec(
+        name="XR3",
+        model="Motorola One Macro",
+        soc="Helio P70",
+        process_nm=12,
+        cpu_cores=8,
+        cpu_max_freq_ghz=2.0,
+        gpu_name="Mali G72",
+        gpu_max_freq_ghz=0.9,
+        ram_gb=4.0,
+        memory_type="LPDDR4X",
+        memory_bandwidth_gb_s=14.9,
+        os_name="Android 9",
+        wifi_standards=("b", "g", "n"),
+        release="October, 2019",
+        base_power_w=0.42,
+        thermal_fraction=0.07,
+        battery_capacity_mah=4000.0,
+    ),
+    "XR4": DeviceSpec(
+        name="XR4",
+        model="Xiaomi Redmi Note 8",
+        soc="Snapdragon 665",
+        process_nm=11,
+        cpu_cores=8,
+        cpu_max_freq_ghz=2.0,
+        gpu_name="Adreno 610",
+        gpu_max_freq_ghz=0.6,
+        ram_gb=4.0,
+        memory_type="LPDDR4X",
+        memory_bandwidth_gb_s=14.9,
+        os_name="Android 10",
+        wifi_standards=("a", "b", "g", "n", "ac"),
+        release="August, 2020",
+        base_power_w=0.40,
+        thermal_fraction=0.07,
+        battery_capacity_mah=4000.0,
+    ),
+    "XR5": DeviceSpec(
+        name="XR5",
+        model="Google Glass Enterprise Edition 2",
+        soc="Snapdragon XR1",
+        process_nm=10,
+        cpu_cores=8,
+        cpu_max_freq_ghz=2.52,
+        gpu_name="Adreno 615",
+        gpu_max_freq_ghz=0.43,
+        ram_gb=3.0,
+        memory_type="LPDDR4",
+        memory_bandwidth_gb_s=14.9,
+        os_name="Android 8.1",
+        wifi_standards=("a", "g", "b", "n", "ac"),
+        release="May, 2019",
+        base_power_w=0.35,
+        thermal_fraction=0.08,
+        battery_capacity_mah=820.0,
+    ),
+    "XR6": DeviceSpec(
+        name="XR6",
+        model="Meta Quest 2",
+        soc="Snapdragon XR2",
+        process_nm=7,
+        cpu_cores=8,
+        cpu_max_freq_ghz=2.84,
+        gpu_name="Adreno 650",
+        gpu_max_freq_ghz=0.587,
+        ram_gb=6.0,
+        memory_type="LPDDR5",
+        memory_bandwidth_gb_s=44.0,
+        os_name="Oculus OS",
+        wifi_standards=("a", "g", "b", "n", "ac", "ax"),
+        release="October, 2020",
+        base_power_w=1.20,
+        thermal_fraction=0.08,
+        battery_capacity_mah=3640.0,
+    ),
+    "XR7": DeviceSpec(
+        name="XR7",
+        model="Nvidia Jetson TX2",
+        soc="Nvidia Tegra TX2",
+        process_nm=16,
+        cpu_cores=6,
+        cpu_max_freq_ghz=2.0,
+        gpu_name="256-core Pascal",
+        gpu_max_freq_ghz=1.3,
+        ram_gb=8.0,
+        memory_type="LPDDR4",
+        memory_bandwidth_gb_s=59.7,
+        os_name="Ubuntu 18.04",
+        wifi_standards=(),
+        release="March, 2017",
+        base_power_w=2.5,
+        thermal_fraction=0.05,
+        battery_capacity_mah=0.0,
+        role="external",
+    ),
+}
+
+#: Edge servers of Table I, keyed by their short name.
+EDGE_CATALOG: Dict[str, EdgeServerSpec] = {
+    "EDGE-TX2": EdgeServerSpec(
+        name="EDGE-TX2",
+        model="Nvidia Jetson TX2",
+        cpu_description="2-core NVIDIA Denver2 + 4-core ARM A57 MPCore",
+        cpu_cores=6,
+        cpu_max_freq_ghz=2.0,
+        gpu_name="NVIDIA Pascal",
+        gpu_cuda_cores=256,
+        ram_gb=8.0,
+        memory_type="LPDDR4",
+        memory_bandwidth_gb_s=59.7,
+        os_name="Ubuntu 18.04",
+        release="March, 2017",
+        compute_scale_vs_client=6.5,
+        idle_power_w=5.0,
+        max_power_w=15.0,
+    ),
+    "EDGE-AGX": EdgeServerSpec(
+        name="EDGE-AGX",
+        model="Nvidia Jetson AGX Xavier",
+        cpu_description="8-core ARM v8.2",
+        cpu_cores=8,
+        cpu_max_freq_ghz=2.27,
+        gpu_name="512-core Volta GPU with Tensor Cores",
+        gpu_cuda_cores=512,
+        ram_gb=32.0,
+        memory_type="LPDDR4X",
+        memory_bandwidth_gb_s=137.0,
+        os_name="Ubuntu 18.04 LTS aarch64",
+        release="October, 2018",
+        compute_scale_vs_client=11.76,
+        idle_power_w=10.0,
+        max_power_w=30.0,
+    ),
+}
+
+#: Devices whose (synthetic) measurements train the regression models.
+TRAIN_DEVICES: Tuple[str, ...] = ("XR1", "XR3", "XR5", "XR6")
+
+#: Devices whose (synthetic) measurements evaluate the regression models.
+TEST_DEVICES: Tuple[str, ...] = ("XR2", "XR4", "XR7")
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up an XR device by its short name (``"XR1"`` .. ``"XR7"``).
+
+    Raises:
+        UnknownDeviceError: if the name is not in the catalog.
+    """
+    try:
+        return DEVICE_CATALOG[name]
+    except KeyError as error:
+        raise UnknownDeviceError(
+            f"unknown XR device {name!r}; available: {sorted(DEVICE_CATALOG)}"
+        ) from error
+
+
+def get_edge_server(name: str) -> EdgeServerSpec:
+    """Look up an edge server by its short name.
+
+    Raises:
+        UnknownDeviceError: if the name is not in the catalog.
+    """
+    try:
+        return EDGE_CATALOG[name]
+    except KeyError as error:
+        raise UnknownDeviceError(
+            f"unknown edge server {name!r}; available: {sorted(EDGE_CATALOG)}"
+        ) from error
+
+
+def list_devices() -> List[DeviceSpec]:
+    """All XR devices in catalog (Table I) order."""
+    return [DEVICE_CATALOG[name] for name in sorted(DEVICE_CATALOG)]
+
+
+def list_edge_servers() -> List[EdgeServerSpec]:
+    """All edge servers in catalog order."""
+    return [EDGE_CATALOG[name] for name in sorted(EDGE_CATALOG)]

@@ -1,0 +1,156 @@
+"""Runtime model of an XR client device.
+
+:class:`XRDevice` couples a static :class:`~repro.config.device.DeviceSpec`
+with mutable runtime state: the operating CPU/GPU clock (DVFS state), the
+battery, the thermal model and an optional sampled power rail.  The simulated
+testbed drives one :class:`XRDevice` per run; the analytical models only read
+its aggregate parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro import units
+from repro.config.device import DeviceSpec
+from repro.devices.battery import Battery
+from repro.devices.power_rail import PowerRail
+from repro.devices.thermals import ThermalModel
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class XRDevice:
+    """Mutable runtime state of one XR client device.
+
+    Attributes:
+        spec: static hardware specification.
+        cpu_freq_ghz: current CPU clock (defaults to the spec maximum).
+        gpu_freq_ghz: current GPU clock (defaults to the spec maximum).
+        battery: battery state (created from the spec when omitted).
+        thermal: thermal model (created from the spec when omitted).
+        power_rail: optional sampled power rail used by the simulated testbed.
+    """
+
+    spec: DeviceSpec
+    cpu_freq_ghz: Optional[float] = None
+    gpu_freq_ghz: Optional[float] = None
+    battery: Optional[Battery] = None
+    thermal: Optional[ThermalModel] = None
+    power_rail: Optional[PowerRail] = None
+
+    def __post_init__(self) -> None:
+        if self.cpu_freq_ghz is None:
+            self.cpu_freq_ghz = self.spec.cpu_max_freq_ghz
+        if self.gpu_freq_ghz is None:
+            self.gpu_freq_ghz = self.spec.gpu_max_freq_ghz
+        if self.battery is None:
+            self.battery = Battery.from_spec(self.spec)
+        if self.thermal is None:
+            self.thermal = ThermalModel.from_spec(self.spec)
+        self._validate_clocks()
+
+    def _validate_clocks(self) -> None:
+        if not 0.0 < self.cpu_freq_ghz <= self.spec.cpu_max_freq_ghz + 1e-9:
+            raise ConfigurationError(
+                f"cpu_freq_ghz must be in (0, {self.spec.cpu_max_freq_ghz}], "
+                f"got {self.cpu_freq_ghz}"
+            )
+        if not 0.0 < self.gpu_freq_ghz <= self.spec.gpu_max_freq_ghz + 1e-9:
+            raise ConfigurationError(
+                f"gpu_freq_ghz must be in (0, {self.spec.gpu_max_freq_ghz}], "
+                f"got {self.gpu_freq_ghz}"
+            )
+
+    # -- factory helpers ----------------------------------------------------
+
+    @classmethod
+    def from_catalog(
+        cls,
+        name: str,
+        cpu_freq_ghz: Optional[float] = None,
+        gpu_freq_ghz: Optional[float] = None,
+        with_power_rail: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "XRDevice":
+        """Instantiate a runtime device from the Table I catalog by name."""
+        from repro.devices.catalog import get_device
+
+        spec = get_device(name)
+        rail = PowerRail(rng=rng) if with_power_rail else None
+        return cls(
+            spec=spec,
+            cpu_freq_ghz=cpu_freq_ghz,
+            gpu_freq_ghz=gpu_freq_ghz,
+            power_rail=rail,
+        )
+
+    # -- DVFS ---------------------------------------------------------------
+
+    def set_clocks(
+        self, cpu_freq_ghz: Optional[float] = None, gpu_freq_ghz: Optional[float] = None
+    ) -> None:
+        """Change the operating CPU and/or GPU clock (bounded by the spec maxima).
+
+        Frequencies above the spec maximum are an error — the OS cannot
+        overclock the SoC on behalf of the XR application.
+        """
+        if cpu_freq_ghz is not None:
+            self.cpu_freq_ghz = cpu_freq_ghz
+        if gpu_freq_ghz is not None:
+            self.gpu_freq_ghz = gpu_freq_ghz
+        self._validate_clocks()
+
+    # -- aggregate parameters consumed by the analytical models --------------
+
+    @property
+    def memory_bandwidth_gb_s(self) -> float:
+        """Memory bandwidth ``m_client`` in GB/s."""
+        return self.spec.memory_bandwidth_gb_s
+
+    @property
+    def base_power_w(self) -> float:
+        """Always-on base power draw of the device."""
+        return self.spec.base_power_w
+
+    def memory_access_latency_ms(self, data_size_mb: float) -> float:
+        """Latency of reading/writing ``data_size_mb`` through device memory."""
+        return units.memory_access_latency_ms(data_size_mb, self.memory_bandwidth_gb_s)
+
+    # -- runtime accounting (used by the simulated testbed) -------------------
+
+    def consume(self, segment: str, latency_ms: float, power_w: float) -> float:
+        """Account for one executed segment and return its energy (mJ).
+
+        Drains the battery, advances the thermal model and, when a power rail
+        is attached, records the sampled power trace.
+        """
+        if latency_ms < 0.0:
+            raise ValueError(f"latency must be >= 0 ms, got {latency_ms}")
+        if power_w < 0.0:
+            raise ValueError(f"power must be >= 0 W, got {power_w}")
+        if self.power_rail is not None and latency_ms > 0.0:
+            energy_mj = self.power_rail.record_segment(segment, latency_ms, power_w)
+        else:
+            energy_mj = units.energy_mj(power_w, latency_ms)
+        self.battery.drain(energy_mj)
+        if latency_ms > 0.0:
+            self.thermal.step(energy_mj, latency_ms)
+        return energy_mj
+
+    def reset(self) -> None:
+        """Reset battery, thermal state and power trace to their initial values."""
+        self.battery.recharge()
+        self.thermal.reset()
+        if self.power_rail is not None:
+            self.power_rail.reset()
+
+    def describe(self) -> str:
+        """Human-readable one-line summary including the current clocks."""
+        return (
+            f"{self.spec.describe()} @ CPU {self.cpu_freq_ghz:.2f} GHz / "
+            f"GPU {self.gpu_freq_ghz:.2f} GHz"
+        )

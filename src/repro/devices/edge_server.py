@@ -1,0 +1,117 @@
+"""Runtime model of an edge server.
+
+The paper's remote-inference model (Eq. 13) consumes the edge server through
+its allocated compute resource ``c_epsilon``, memory bandwidth ``m_epsilon``
+and the complexity of the large CNN it hosts.  The measured relation
+``c_epsilon = 11.76 * c_client`` (Section IV-B) ties the edge compute to the
+client compute of the device that offloads to it; :class:`EdgeServer` exposes
+both that paper-faithful derivation and an absolute allocation for users who
+model the edge tier independently of any particular client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro import units
+from repro.config.device import EdgeServerSpec
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class EdgeServer:
+    """Mutable runtime state of one edge server.
+
+    Attributes:
+        spec: static hardware specification.
+        utilization: current fraction of the server's compute committed to
+            other tenants; the allocatable compute scales by
+            ``1 - utilization``.
+        hosted_cnn: name of the large CNN model deployed on the server.
+    """
+
+    spec: EdgeServerSpec
+    utilization: float = 0.0
+    hosted_cnn: str = "YOLOv3"
+    _assigned_tasks: Dict[str, float] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utilization < 1.0:
+            raise ConfigurationError(
+                f"utilization must be within [0, 1), got {self.utilization}"
+            )
+
+    @classmethod
+    def from_catalog(cls, name: str = "EDGE-AGX", **kwargs) -> "EdgeServer":
+        """Instantiate an edge server from the Table I catalog by name."""
+        from repro.devices.catalog import get_edge_server
+
+        return cls(spec=get_edge_server(name), **kwargs)
+
+    # -- compute / memory parameters -----------------------------------------
+
+    @property
+    def memory_bandwidth_gb_s(self) -> float:
+        """Memory bandwidth ``m_epsilon`` in GB/s."""
+        return self.spec.memory_bandwidth_gb_s
+
+    @property
+    def available_fraction(self) -> float:
+        """Fraction of compute not committed to other tenants."""
+        return 1.0 - self.utilization
+
+    def allocated_compute(self, client_compute: float) -> float:
+        """Edge compute ``c_epsilon`` allocated for a client with ``c_client``.
+
+        Uses the paper's measured proportionality
+        ``c_epsilon = compute_scale_vs_client * c_client`` scaled down by the
+        server's current background utilization.
+        """
+        if client_compute <= 0.0:
+            raise ValueError(f"client compute must be > 0, got {client_compute}")
+        return self.spec.compute_scale_vs_client * client_compute * self.available_fraction
+
+    def memory_access_latency_ms(self, data_size_mb: float) -> float:
+        """Latency of moving ``data_size_mb`` through the edge server memory."""
+        return units.memory_access_latency_ms(data_size_mb, self.memory_bandwidth_gb_s)
+
+    # -- multi-tenant bookkeeping (used by the simulated testbed) -------------
+
+    def assign_task(self, client_name: str, share: float) -> None:
+        """Register an inference task share for a client.
+
+        Raises:
+            ConfigurationError: if the aggregated share would exceed 1.0.
+        """
+        if share <= 0.0:
+            raise ValueError(f"task share must be > 0, got {share}")
+        new_total = sum(self._assigned_tasks.values()) + share
+        if new_total > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"edge server {self.spec.name} over-committed: total share {new_total:.3f} > 1"
+            )
+        self._assigned_tasks[client_name] = self._assigned_tasks.get(client_name, 0.0) + share
+
+    def release_task(self, client_name: str) -> None:
+        """Remove all task shares registered for a client (idempotent)."""
+        self._assigned_tasks.pop(client_name, None)
+
+    @property
+    def committed_share(self) -> float:
+        """Total inference task share currently registered on the server."""
+        return sum(self._assigned_tasks.values())
+
+    def power_w(self, active_share: Optional[float] = None) -> float:
+        """Server power draw for a given active compute share.
+
+        A linear idle-to-max power model; the edge tier's energy is not billed
+        to the XR device but the simulated testbed records it for reporting.
+        """
+        share = self.committed_share if active_share is None else active_share
+        share = min(max(share, 0.0), 1.0)
+        return self.spec.idle_power_w + share * (self.spec.max_power_w - self.spec.idle_power_w)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return f"{self.spec.describe()} hosting {self.hosted_cnn}"

@@ -1,0 +1,150 @@
+"""Simulated power rail — the framework's substitute for the Monsoon monitor.
+
+The paper measures XR device power with a Monsoon Power Monitor sampling
+every 0.2 ms.  We do not have that hardware, so :class:`PowerRail` plays the
+same role for the simulated testbed: segments report their (possibly noisy)
+instantaneous power draw, the rail samples it at the Monsoon rate, and the
+energy model integrates the samples.  This keeps the measurement code path —
+"sample power, integrate over segment latency" — identical to the paper's
+methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One sampled point of the power rail.
+
+    Attributes:
+        time_ms: sample timestamp relative to the start of the recording.
+        power_w: instantaneous power in watts.
+        segment: name of the pipeline segment active at the sample time.
+    """
+
+    time_ms: float
+    power_w: float
+    segment: str
+
+
+class PowerRail:
+    """Sampled power recording for one device.
+
+    Args:
+        sampling_period_ms: sampling period; defaults to the Monsoon monitor's
+            0.2 ms.
+        rng: optional random generator used to add measurement noise.
+        noise_std_w: standard deviation of additive Gaussian measurement noise.
+    """
+
+    def __init__(
+        self,
+        sampling_period_ms: float = units.POWER_MONITOR_SAMPLING_PERIOD_MS,
+        rng: Optional[np.random.Generator] = None,
+        noise_std_w: float = 0.0,
+    ) -> None:
+        if sampling_period_ms <= 0.0:
+            raise ValueError(
+                f"sampling period must be > 0 ms, got {sampling_period_ms}"
+            )
+        if noise_std_w < 0.0:
+            raise ValueError(f"noise std must be >= 0 W, got {noise_std_w}")
+        self.sampling_period_ms = sampling_period_ms
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.noise_std_w = noise_std_w
+        self._samples: List[PowerSample] = []
+        self._clock_ms = 0.0
+
+    # -- recording ----------------------------------------------------------
+
+    @property
+    def clock_ms(self) -> float:
+        """Current recording time in milliseconds."""
+        return self._clock_ms
+
+    @property
+    def samples(self) -> List[PowerSample]:
+        """All recorded samples in chronological order."""
+        return list(self._samples)
+
+    def record_segment(
+        self,
+        segment: str,
+        duration_ms: float,
+        power_w: float | Callable[[float], float],
+    ) -> float:
+        """Record a pipeline segment drawing ``power_w`` for ``duration_ms``.
+
+        Args:
+            segment: segment name used to tag the samples.
+            duration_ms: segment latency in milliseconds.
+            power_w: constant power in watts, or a callable mapping the time
+                offset within the segment (ms) to instantaneous power.
+
+        Returns:
+            The energy (mJ) attributed to the segment by trapezoidal
+            integration of the recorded samples.
+        """
+        if duration_ms < 0.0:
+            raise ValueError(f"duration must be >= 0 ms, got {duration_ms}")
+        if duration_ms == 0.0:
+            return 0.0
+        n_samples = max(2, int(np.ceil(duration_ms / self.sampling_period_ms)) + 1)
+        offsets = np.linspace(0.0, duration_ms, n_samples)
+        if callable(power_w):
+            values = np.array([float(power_w(offset)) for offset in offsets])
+        else:
+            values = np.full(n_samples, float(power_w))
+        if self.noise_std_w > 0.0:
+            values = values + self._rng.normal(0.0, self.noise_std_w, size=n_samples)
+        values = np.clip(values, 0.0, None)
+        for offset, value in zip(offsets, values):
+            self._samples.append(
+                PowerSample(time_ms=self._clock_ms + offset, power_w=float(value), segment=segment)
+            )
+        self._clock_ms += duration_ms
+        return float(np.trapezoid(values, offsets))
+
+    # -- analysis -----------------------------------------------------------
+
+    def total_energy_mj(self) -> float:
+        """Total recorded energy (mJ) integrated over all samples."""
+        if len(self._samples) < 2:
+            return 0.0
+        times = np.array([sample.time_ms for sample in self._samples])
+        values = np.array([sample.power_w for sample in self._samples])
+        order = np.argsort(times)
+        return float(np.trapezoid(values[order], times[order]))
+
+    def segment_energy_mj(self, segment: str) -> float:
+        """Energy (mJ) attributed to one named segment."""
+        samples = [s for s in self._samples if s.segment == segment]
+        if len(samples) < 2:
+            return 0.0
+        times = np.array([sample.time_ms for sample in samples])
+        values = np.array([sample.power_w for sample in samples])
+        return float(np.trapezoid(values, times))
+
+    def mean_power_w(self) -> float:
+        """Mean recorded power in watts (0.0 when nothing was recorded)."""
+        if not self._samples:
+            return 0.0
+        return float(np.mean([sample.power_w for sample in self._samples]))
+
+    def peak_power_w(self) -> float:
+        """Peak recorded power in watts (0.0 when nothing was recorded)."""
+        if not self._samples:
+            return 0.0
+        return float(np.max([sample.power_w for sample in self._samples]))
+
+    def reset(self) -> None:
+        """Clear all samples and rewind the clock."""
+        self._samples.clear()
+        self._clock_ms = 0.0

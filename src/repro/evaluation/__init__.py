@@ -1,0 +1,59 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.evaluation.metrics` — error and accuracy metrics used in
+  Section VIII (mean error %, normalized accuracy),
+* :mod:`repro.evaluation.sweeps` — model-vs-ground-truth sweep comparisons,
+* :mod:`repro.evaluation.figures` — one generator per figure
+  (Fig. 4(a)-(f), Fig. 5(a)-(b)),
+* :mod:`repro.evaluation.tables` — Table I and Table II reproduction,
+* :mod:`repro.evaluation.ablations` — ablation studies of the design choices
+  called out in DESIGN.md,
+* :mod:`repro.evaluation.report` — text rendering and result persistence,
+* :mod:`repro.evaluation.run_all` — one entry point regenerating everything
+  and rewriting EXPERIMENTS.md (``python -m repro.evaluation.run_all``).
+"""
+
+from repro.evaluation.metrics import (
+    mean_absolute_percentage_error,
+    mean_error_percent,
+    normalized_accuracy,
+    series_accuracy,
+)
+from repro.evaluation.sweeps import SweepComparison, SweepSeries, run_sweep_comparison
+from repro.evaluation.figures import (
+    AoIFigure,
+    ComparisonFigure,
+    ValidationFigure,
+    figure_4a,
+    figure_4b,
+    figure_4c,
+    figure_4d,
+    figure_4e,
+    figure_4f,
+    figure_5a,
+    figure_5b,
+)
+from repro.evaluation.tables import table_1, table_2
+
+__all__ = [
+    "AoIFigure",
+    "ComparisonFigure",
+    "SweepComparison",
+    "SweepSeries",
+    "ValidationFigure",
+    "figure_4a",
+    "figure_4b",
+    "figure_4c",
+    "figure_4d",
+    "figure_4e",
+    "figure_4f",
+    "figure_5a",
+    "figure_5b",
+    "mean_absolute_percentage_error",
+    "mean_error_percent",
+    "normalized_accuracy",
+    "series_accuracy",
+    "run_sweep_comparison",
+    "table_1",
+    "table_2",
+]

@@ -1,0 +1,106 @@
+"""Reproduction of Table I (devices) and Table II (CNN models)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cnn.zoo import list_cnns
+from repro.devices.catalog import list_devices, list_edge_servers
+from repro.evaluation.report import format_table
+
+
+@dataclass(frozen=True)
+class TableReproduction:
+    """One reproduced paper table.
+
+    Attributes:
+        table_id: paper table identifier (``"I"`` or ``"II"``).
+        title: table caption.
+        headers: column headers.
+        rows: table rows.
+    """
+
+    table_id: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows in the table body."""
+        return len(self.rows)
+
+    def to_text(self) -> str:
+        """Fixed-width rendering of the table."""
+        return f"Table {self.table_id}: {self.title}\n" + format_table(self.rows, self.headers)
+
+
+def table_1() -> TableReproduction:
+    """Table I: specifications of the XR and edge devices used in the experiments."""
+    headers = (
+        "Denotation",
+        "Model",
+        "SoC",
+        "CPU",
+        "GPU",
+        "RAM",
+        "OS",
+        "Wi-Fi",
+        "Release",
+    )
+    rows: List[Tuple[str, ...]] = []
+    for device in list_devices():
+        rows.append(
+            (
+                device.name,
+                device.model,
+                f"{device.soc} ({device.process_nm} nm)",
+                f"{device.cpu_cores}-core up to {device.cpu_max_freq_ghz:.2f} GHz",
+                device.gpu_name,
+                f"{device.ram_gb:.0f}GB {device.memory_type}",
+                device.os_name,
+                "802.11 " + "/".join(device.wifi_standards) if device.wifi_standards else "-",
+                device.release,
+            )
+        )
+    for edge in list_edge_servers():
+        rows.append(
+            (
+                edge.name,
+                edge.model,
+                "-",
+                edge.cpu_description,
+                f"{edge.gpu_name} ({edge.gpu_cuda_cores} CUDA cores)",
+                f"{edge.ram_gb:.0f}GB {edge.memory_type}",
+                edge.os_name,
+                "-",
+                edge.release,
+            )
+        )
+    return TableReproduction(
+        table_id="I",
+        title="Brief specifications of the XR and edge devices used in the experiments",
+        headers=headers,
+        rows=tuple(rows),
+    )
+
+
+def table_2() -> TableReproduction:
+    """Table II: CNN models used in this research."""
+    headers = ("CNN", "Model depth (no. of layers)", "Storage space (MB)", "GPU support")
+    rows = tuple(
+        (
+            model.name,
+            str(model.depth) if model.depth_scale == 1.0 else f"{model.depth} (scaling {model.depth_scale:g})",
+            f"{model.size_mb:g}",
+            "Yes" if model.gpu_support else "No",
+        )
+        for model in list_cnns()
+    )
+    return TableReproduction(
+        table_id="II",
+        title="CNNs used in this research",
+        headers=headers,
+        rows=rows,
+    )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the XR performance analysis framework.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so a
+caller embedding the framework can catch a single base class.  Specific
+subclasses exist for the three broad failure categories a user can hit:
+
+* invalid configuration (:class:`ConfigurationError`),
+* models asked to operate outside their valid domain
+  (:class:`ModelDomainError`),
+* simulation/measurement level problems (:class:`SimulationError`,
+  :class:`RegressionError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the framework."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class ModelDomainError(ReproError):
+    """An analytical model was evaluated outside its valid input domain."""
+
+
+class UnknownDeviceError(ConfigurationError):
+    """A device name was requested that is not present in the catalog."""
+
+
+class UnknownCNNError(ConfigurationError):
+    """A CNN model name was requested that is not present in the zoo."""
+
+
+class UnstableQueueError(ModelDomainError):
+    """A queueing model was asked about an unstable system (utilisation >= 1)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class RegressionError(ReproError):
+    """A regression model could not be fitted or evaluated."""

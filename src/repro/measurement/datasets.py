@@ -1,0 +1,172 @@
+"""Dataset containers for the synthetic measurement campaign.
+
+A :class:`MeasurementSample` is one operating point of one device with its
+"measured" quantities; a :class:`MeasurementDataset` is a collection of
+samples that knows how to expose the design matrices and target vectors of
+the paper's four regression models and how to split itself by device
+(the paper trains on XR1/XR3/XR5/XR6 and tests on XR2/XR4/XR7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.catalog import TEST_DEVICES, TRAIN_DEVICES
+from repro.exceptions import RegressionError
+
+
+@dataclass(frozen=True)
+class MeasurementSample:
+    """One synthetic measurement of one device operating point.
+
+    The first block of attributes are the controlled factors of the campaign;
+    the ``measured_*`` attributes are the noisy responses.
+    """
+
+    device: str
+    cpu_freq_ghz: float
+    gpu_freq_ghz: float
+    cpu_share: float
+    i_frame_interval: float
+    b_frame_count: float
+    bitrate_mbps: float
+    frame_side_px: float
+    frame_rate_fps: float
+    quantization: float
+    cnn_depth: float
+    cnn_size_mb: float
+    cnn_depth_scale: float
+    measured_compute: float
+    measured_power_w: float
+    measured_encoding_numerator: float
+    measured_cnn_complexity: float
+
+
+class MeasurementDataset:
+    """A collection of measurement samples with regression-ready views."""
+
+    #: Feature names of the compute-resource / power regressions (Eq. 3 / 21 form).
+    RESOURCE_FEATURES: Tuple[str, ...] = (
+        "cpu_intercept",
+        "cpu_linear",
+        "cpu_quadratic",
+        "gpu_intercept",
+        "gpu_linear",
+        "gpu_quadratic",
+    )
+
+    #: Feature names of the encoding-latency regression (Eq. 10 form).
+    ENCODING_FEATURES: Tuple[str, ...] = (
+        "intercept",
+        "i_frame_interval",
+        "b_frame_count",
+        "bitrate_mbps",
+        "frame_side_px",
+        "frame_rate_fps",
+        "quantization",
+    )
+
+    #: Feature names of the CNN complexity regression (Eq. 12 form).
+    COMPLEXITY_FEATURES: Tuple[str, ...] = ("intercept", "depth", "size_mb", "depth_scale")
+
+    def __init__(self, samples: Iterable[MeasurementSample]) -> None:
+        self._samples: List[MeasurementSample] = list(samples)
+        if not self._samples:
+            raise RegressionError("a measurement dataset must contain at least one sample")
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    @property
+    def samples(self) -> List[MeasurementSample]:
+        """All samples in insertion order."""
+        return list(self._samples)
+
+    @property
+    def devices(self) -> Tuple[str, ...]:
+        """Distinct device names present in the dataset."""
+        return tuple(sorted({sample.device for sample in self._samples}))
+
+    def filter_devices(self, devices: Sequence[str]) -> "MeasurementDataset":
+        """Subset of the dataset restricted to the given devices."""
+        wanted = set(devices)
+        subset = [sample for sample in self._samples if sample.device in wanted]
+        if not subset:
+            raise RegressionError(
+                f"no samples for devices {sorted(wanted)}; present: {self.devices}"
+            )
+        return MeasurementDataset(subset)
+
+    # -- regression views -----------------------------------------------------------
+
+    def resource_design_matrix(self) -> np.ndarray:
+        """Design matrix of the compute-resource regression (Eq. 3 structure).
+
+        Columns: ``[w_c, w_c f_c, w_c f_c^2, (1-w_c), (1-w_c) f_g, (1-w_c) f_g^2]``.
+        """
+        rows = []
+        for sample in self._samples:
+            w = sample.cpu_share
+            fc = sample.cpu_freq_ghz
+            fg = sample.gpu_freq_ghz
+            rows.append([w, w * fc, w * fc**2, 1.0 - w, (1.0 - w) * fg, (1.0 - w) * fg**2])
+        return np.array(rows, dtype=float)
+
+    def resource_targets(self) -> np.ndarray:
+        """Measured compute capabilities (``c_client``)."""
+        return np.array([sample.measured_compute for sample in self._samples], dtype=float)
+
+    def power_targets(self) -> np.ndarray:
+        """Measured mean powers (``P_mean``, W)."""
+        return np.array([sample.measured_power_w for sample in self._samples], dtype=float)
+
+    def encoding_design_matrix(self) -> np.ndarray:
+        """Design matrix of the encoding-latency regression (Eq. 10 structure)."""
+        rows = []
+        for sample in self._samples:
+            rows.append(
+                [
+                    1.0,
+                    sample.i_frame_interval,
+                    sample.b_frame_count,
+                    sample.bitrate_mbps,
+                    sample.frame_side_px,
+                    sample.frame_rate_fps,
+                    sample.quantization,
+                ]
+            )
+        return np.array(rows, dtype=float)
+
+    def encoding_targets(self) -> np.ndarray:
+        """Measured encoding-latency numerators (encoding latency x compute)."""
+        return np.array(
+            [sample.measured_encoding_numerator for sample in self._samples], dtype=float
+        )
+
+    def complexity_design_matrix(self) -> np.ndarray:
+        """Design matrix of the CNN complexity regression (Eq. 12 structure)."""
+        rows = []
+        for sample in self._samples:
+            rows.append([1.0, sample.cnn_depth, sample.cnn_size_mb, sample.cnn_depth_scale])
+        return np.array(rows, dtype=float)
+
+    def complexity_targets(self) -> np.ndarray:
+        """Measured CNN complexities."""
+        return np.array(
+            [sample.measured_cnn_complexity for sample in self._samples], dtype=float
+        )
+
+
+def split_by_device(
+    dataset: MeasurementDataset,
+    train_devices: Sequence[str] = TRAIN_DEVICES,
+    test_devices: Sequence[str] = TEST_DEVICES,
+) -> Tuple[MeasurementDataset, MeasurementDataset]:
+    """Split a dataset into the paper's train/test device partitions."""
+    return dataset.filter_devices(train_devices), dataset.filter_devices(test_devices)

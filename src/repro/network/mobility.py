@@ -1,0 +1,246 @@
+"""Random-walk mobility over a cellular coverage layout.
+
+The paper models XR device mobility with a random-walk model and derives the
+per-frame handoff probability ``P(HO)`` from it (Eq. 17, citing location
+management analyses).  This module provides:
+
+* :class:`CoverageLayout` — a hexagonal-like grid of circular coverage zones
+  described as a :mod:`networkx` adjacency graph, tagged with the access
+  technology of each zone so handoffs can be classified as horizontal (same
+  technology) or vertical (different technology),
+* :class:`RandomWalkMobility` — a discrete-time random walk of the XR device,
+  with both an analytical boundary-crossing probability and a Monte-Carlo
+  trajectory sampler used by the simulated testbed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ModelDomainError
+
+
+@dataclass
+class CoverageLayout:
+    """A grid of circular wireless coverage zones.
+
+    Attributes:
+        rows: number of zone rows.
+        cols: number of zone columns.
+        cell_radius_m: radius of each coverage zone.
+        technologies: cyclic assignment of access technologies to zones;
+            neighbouring zones with different technologies produce vertical
+            handoffs.
+    """
+
+    rows: int = 3
+    cols: int = 3
+    cell_radius_m: float = 50.0
+    technologies: Tuple[str, ...] = ("wifi-5ghz", "wifi-2.4ghz")
+    _graph: nx.Graph = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError(
+                f"layout must have positive dimensions, got {self.rows}x{self.cols}"
+            )
+        if self.cell_radius_m <= 0.0:
+            raise ConfigurationError(
+                f"cell radius must be > 0 m, got {self.cell_radius_m}"
+            )
+        if not self.technologies:
+            raise ConfigurationError("at least one access technology is required")
+        self._graph = nx.grid_2d_graph(self.rows, self.cols)
+        for index, node in enumerate(sorted(self._graph.nodes)):
+            self._graph.nodes[node]["technology"] = self.technologies[
+                index % len(self.technologies)
+            ]
+            row, col = node
+            self._graph.nodes[node]["center_m"] = (
+                col * 2.0 * self.cell_radius_m,
+                row * 2.0 * self.cell_radius_m,
+            )
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The zone adjacency graph (nodes are (row, col) tuples)."""
+        return self._graph
+
+    @property
+    def n_zones(self) -> int:
+        """Number of coverage zones."""
+        return self.rows * self.cols
+
+    def technology_of(self, zone: Tuple[int, int]) -> str:
+        """Access technology of a zone."""
+        return self._graph.nodes[zone]["technology"]
+
+    def neighbors(self, zone: Tuple[int, int]) -> List[Tuple[int, int]]:
+        """Adjacent zones the device can move to."""
+        return list(self._graph.neighbors(zone))
+
+    def is_vertical_transition(
+        self, origin: Tuple[int, int], destination: Tuple[int, int]
+    ) -> bool:
+        """True when moving between zones with different access technologies."""
+        return self.technology_of(origin) != self.technology_of(destination)
+
+    def vertical_neighbor_fraction(self, zone: Tuple[int, int]) -> float:
+        """Fraction of a zone's neighbours reachable only by vertical handoff."""
+        neighbors = self.neighbors(zone)
+        if not neighbors:
+            return 0.0
+        vertical = sum(
+            1 for neighbor in neighbors if self.is_vertical_transition(zone, neighbor)
+        )
+        return vertical / len(neighbors)
+
+
+@dataclass
+class RandomWalkMobility:
+    """Discrete-time random walk of the XR device over a coverage layout.
+
+    Attributes:
+        layout: the coverage layout the device roams over.
+        speed_m_per_s: device speed.
+        start_zone: starting zone (defaults to the layout centre).
+        pause_probability: probability of not moving during a step.
+    """
+
+    layout: CoverageLayout
+    speed_m_per_s: float = 1.4
+    start_zone: Optional[Tuple[int, int]] = None
+    pause_probability: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.speed_m_per_s < 0.0:
+            raise ConfigurationError(
+                f"speed must be >= 0 m/s, got {self.speed_m_per_s}"
+            )
+        if not 0.0 <= self.pause_probability <= 1.0:
+            raise ConfigurationError(
+                f"pause probability must be in [0, 1], got {self.pause_probability}"
+            )
+        if self.start_zone is None:
+            self.start_zone = (self.layout.rows // 2, self.layout.cols // 2)
+        if self.start_zone not in self.layout.graph:
+            raise ConfigurationError(
+                f"start zone {self.start_zone} is outside the layout"
+            )
+
+    # -- analytical boundary-crossing probability --------------------------------
+
+    def handoff_probability(self, interval_ms: float) -> float:
+        """Probability the device crosses a zone boundary within ``interval_ms``.
+
+        Under a random-walk/fluid-flow approximation, the boundary-crossing
+        rate of a device moving at speed ``v`` inside a circular zone of
+        radius ``R`` is ``v / (pi * R / 2) = 2 v / (pi R)`` crossings per
+        second; the per-interval probability follows from the exponential
+        residence-time approximation and is additionally scaled by the
+        probability that the device is actually moving.
+        """
+        if interval_ms < 0.0:
+            raise ModelDomainError(f"interval must be >= 0 ms, got {interval_ms}")
+        if self.speed_m_per_s == 0.0 or interval_ms == 0.0:
+            return 0.0
+        crossing_rate_per_s = (
+            2.0 * self.speed_m_per_s / (math.pi * self.layout.cell_radius_m)
+        )
+        moving_fraction = 1.0 - self.pause_probability
+        interval_s = interval_ms / 1e3
+        return moving_fraction * (1.0 - math.exp(-crossing_rate_per_s * interval_s))
+
+    def expected_handoffs(self, duration_ms: float, interval_ms: float) -> float:
+        """Expected number of handoffs over ``duration_ms`` in steps of ``interval_ms``."""
+        if interval_ms <= 0.0:
+            raise ModelDomainError(f"interval must be > 0 ms, got {interval_ms}")
+        n_intervals = duration_ms / interval_ms
+        return n_intervals * self.handoff_probability(interval_ms)
+
+    # -- Monte-Carlo trajectory ----------------------------------------------------
+
+    def walk(
+        self, n_steps: int, step_interval_ms: float, rng: np.random.Generator
+    ) -> "MobilityTrace":
+        """Sample a zone-level random-walk trajectory.
+
+        Each step the device either pauses (with ``pause_probability``) or
+        attempts to move towards a uniformly random neighbouring zone; the
+        move succeeds with the analytical boundary-crossing probability for
+        the step interval, which keeps the Monte-Carlo and analytical
+        handoff statistics consistent.
+        """
+        if n_steps <= 0:
+            raise ValueError(f"n_steps must be > 0, got {n_steps}")
+        if step_interval_ms <= 0.0:
+            raise ValueError(f"step interval must be > 0 ms, got {step_interval_ms}")
+        zones: List[Tuple[int, int]] = [self.start_zone]
+        handoffs: List[bool] = []
+        vertical: List[bool] = []
+        crossing_probability = self.handoff_probability(step_interval_ms) / max(
+            1.0 - self.pause_probability, 1e-9
+        )
+        crossing_probability = min(1.0, crossing_probability)
+        current = self.start_zone
+        for _ in range(n_steps):
+            moved = False
+            is_vertical = False
+            if rng.random() >= self.pause_probability:
+                if rng.random() < crossing_probability:
+                    neighbors = self.layout.neighbors(current)
+                    if neighbors:
+                        destination = neighbors[rng.integers(0, len(neighbors))]
+                        is_vertical = self.layout.is_vertical_transition(
+                            current, destination
+                        )
+                        current = destination
+                        moved = True
+            zones.append(current)
+            handoffs.append(moved)
+            vertical.append(is_vertical)
+        return MobilityTrace(
+            zones=zones,
+            handoff_flags=handoffs,
+            vertical_flags=vertical,
+            step_interval_ms=step_interval_ms,
+        )
+
+
+@dataclass(frozen=True)
+class MobilityTrace:
+    """Zone-level trajectory produced by :meth:`RandomWalkMobility.walk`."""
+
+    zones: List[Tuple[int, int]]
+    handoff_flags: List[bool]
+    vertical_flags: List[bool]
+    step_interval_ms: float
+
+    @property
+    def n_handoffs(self) -> int:
+        """Total number of handoffs along the trajectory."""
+        return int(sum(self.handoff_flags))
+
+    @property
+    def n_vertical_handoffs(self) -> int:
+        """Number of vertical (cross-technology) handoffs."""
+        return int(sum(self.vertical_flags))
+
+    @property
+    def empirical_handoff_probability(self) -> float:
+        """Fraction of steps that produced a handoff."""
+        if not self.handoff_flags:
+            return 0.0
+        return self.n_handoffs / len(self.handoff_flags)
+
+    def zone_occupancy(self) -> Dict[Tuple[int, int], int]:
+        """Number of steps spent in each zone."""
+        occupancy: Dict[Tuple[int, int], int] = {}
+        for zone in self.zones:
+            occupancy[zone] = occupancy.get(zone, 0) + 1
+        return occupancy

@@ -1,0 +1,97 @@
+"""Path-loss models.
+
+The paper explicitly assumes no path loss, shadowing or fading in its default
+propagation model but notes they "can be incorporated into the model
+according to system requirements".  This module provides the standard
+log-distance model (with optional log-normal shadowing) so that extension
+experiments can switch them on, and the free-space reference loss it builds
+on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelDomainError
+
+
+def free_space_path_loss_db(distance_m: float, carrier_frequency_ghz: float) -> float:
+    """Free-space path loss (dB) at ``distance_m`` and ``carrier_frequency_ghz``.
+
+    Uses the standard FSPL formula ``20 log10(d) + 20 log10(f) + 32.45`` with
+    distance in kilometres and frequency in MHz, rearranged for metres / GHz.
+
+    Raises:
+        ModelDomainError: for non-positive distance or frequency.
+    """
+    if distance_m <= 0.0:
+        raise ModelDomainError(f"distance must be > 0 m, got {distance_m}")
+    if carrier_frequency_ghz <= 0.0:
+        raise ModelDomainError(
+            f"carrier frequency must be > 0 GHz, got {carrier_frequency_ghz}"
+        )
+    frequency_mhz = carrier_frequency_ghz * 1e3
+    distance_km = distance_m / 1e3
+    return 20.0 * math.log10(distance_km) + 20.0 * math.log10(frequency_mhz) + 32.45
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Log-distance path loss with optional log-normal shadowing.
+
+    ``PL(d) = PL(d0) + 10 * n * log10(d / d0) + X_sigma``
+
+    Attributes:
+        exponent: path-loss exponent ``n`` (2 free space, ~3 indoor office).
+        reference_distance_m: reference distance ``d0``.
+        carrier_frequency_ghz: carrier used for the reference free-space loss.
+        shadowing_sigma_db: standard deviation of the log-normal shadowing
+            term ``X_sigma``; 0 disables shadowing.
+    """
+
+    exponent: float = 3.0
+    reference_distance_m: float = 1.0
+    carrier_frequency_ghz: float = 5.0
+    shadowing_sigma_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0.0:
+            raise ModelDomainError(f"path-loss exponent must be > 0, got {self.exponent}")
+        if self.reference_distance_m <= 0.0:
+            raise ModelDomainError(
+                f"reference distance must be > 0 m, got {self.reference_distance_m}"
+            )
+        if self.shadowing_sigma_db < 0.0:
+            raise ModelDomainError(
+                f"shadowing sigma must be >= 0 dB, got {self.shadowing_sigma_db}"
+            )
+
+    def path_loss_db(
+        self, distance_m: float, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Path loss (dB) at ``distance_m``; shadowing sampled when ``rng`` given."""
+        if distance_m <= 0.0:
+            raise ModelDomainError(f"distance must be > 0 m, got {distance_m}")
+        distance = max(distance_m, self.reference_distance_m)
+        reference_loss = free_space_path_loss_db(
+            self.reference_distance_m, self.carrier_frequency_ghz
+        )
+        loss = reference_loss + 10.0 * self.exponent * math.log10(
+            distance / self.reference_distance_m
+        )
+        if self.shadowing_sigma_db > 0.0 and rng is not None:
+            loss += float(rng.normal(0.0, self.shadowing_sigma_db))
+        return loss
+
+    def received_power_dbm(
+        self,
+        tx_power_dbm: float,
+        distance_m: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Received power (dBm) for a given transmit power and distance."""
+        return tx_power_dbm - self.path_loss_db(distance_m, rng=rng)

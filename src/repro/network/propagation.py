@@ -1,0 +1,25 @@
+"""Propagation delay of the wireless medium.
+
+The paper's transmission, external-sensor and AoI models all contain a
+``d / c`` propagation term (Eqs. 6, 16, 18, 23).  This module re-exports the
+canonical helper from :mod:`repro.units` and adds the round-trip variant
+used by the remote inference path (uplink frame + downlink result).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.units import propagation_delay_ms
+
+__all__ = ["propagation_delay_ms", "round_trip_propagation_ms"]
+
+
+def round_trip_propagation_ms(
+    distance_m: float, speed_m_per_s: float = units.SPEED_OF_LIGHT_M_PER_S
+) -> float:
+    """Round-trip propagation delay (ms) over ``distance_m``.
+
+    The remote inference path sends the encoded frame uplink and receives the
+    inference result downlink, so the propagation term appears twice.
+    """
+    return 2.0 * propagation_delay_ms(distance_m, speed_m_per_s)

@@ -1,0 +1,39 @@
+"""Little's-law helpers used by the property-based queueing tests.
+
+Little's law (``L = lambda * W``) holds for any stationary queueing system,
+so it provides an assumption-free consistency check between the closed-form
+models, the queue simulator and the simulated testbed's buffer statistics.
+"""
+
+from __future__ import annotations
+
+
+def littles_law_l(arrival_rate_per_ms: float, mean_time_in_system_ms: float) -> float:
+    """Mean number in system implied by Little's law, ``L = lambda * W``."""
+    if arrival_rate_per_ms < 0.0:
+        raise ValueError(f"arrival rate must be >= 0, got {arrival_rate_per_ms}")
+    if mean_time_in_system_ms < 0.0:
+        raise ValueError(
+            f"mean time in system must be >= 0, got {mean_time_in_system_ms}"
+        )
+    return arrival_rate_per_ms * mean_time_in_system_ms
+
+
+def littles_law_w(mean_number_in_system: float, arrival_rate_per_ms: float) -> float:
+    """Mean time in system implied by Little's law, ``W = L / lambda``."""
+    if arrival_rate_per_ms <= 0.0:
+        raise ValueError(f"arrival rate must be > 0, got {arrival_rate_per_ms}")
+    if mean_number_in_system < 0.0:
+        raise ValueError(
+            f"mean number in system must be >= 0, got {mean_number_in_system}"
+        )
+    return mean_number_in_system / arrival_rate_per_ms
+
+
+def relative_gap(observed: float, expected: float) -> float:
+    """Relative difference ``|observed - expected| / max(|expected|, eps)``.
+
+    Used by tests comparing simulated statistics against closed-form values.
+    """
+    denominator = max(abs(expected), 1e-12)
+    return abs(observed - expected) / denominator

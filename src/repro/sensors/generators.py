@@ -1,0 +1,98 @@
+"""Alignment between requested and generated information updates.
+
+The AoI model (Eq. 23) measures, for each update cycle ``n``, the gap between
+the instant the XR application *requested* fresh information
+(``T_Req^n``) and the instant the information that eventually serves that
+request was *generated* by the sensor (``T^mn``), plus the propagation and
+buffering delays.  A sensor that generates slower than the application
+requests serves several consecutive requests with the same (aging) sample,
+which is exactly the staircase of Fig. 4(f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UpdateSchedule:
+    """Pairing of application requests with sensor generations.
+
+    Attributes:
+        request_times_ms: instants ``T_Req^n`` at which the application needs
+            fresh information.
+        generation_times_ms: instants ``T^mn`` of the sensor samples that
+            serve each request (the latest sample generated at or before the
+            request, or the first sample ever if none exists yet).
+        served_by_sample: index of the sensor sample serving each request
+            (-1 when the request is served by the very first, not yet
+            generated, sample).
+    """
+
+    request_times_ms: np.ndarray
+    generation_times_ms: np.ndarray
+    served_by_sample: np.ndarray
+
+    @property
+    def n_requests(self) -> int:
+        """Number of application update requests."""
+        return int(len(self.request_times_ms))
+
+    @property
+    def staleness_ms(self) -> np.ndarray:
+        """Per-request staleness ``T_Req^n - T^mn`` (>= 0 once samples exist)."""
+        return self.request_times_ms - self.generation_times_ms
+
+    def requests_per_sample(self) -> np.ndarray:
+        """How many consecutive requests each sensor sample served."""
+        if self.n_requests == 0:
+            return np.array([], dtype=int)
+        unique, counts = np.unique(self.served_by_sample, return_counts=True)
+        del unique
+        return counts
+
+
+def generation_times_for_requests(
+    request_times_ms: Sequence[float],
+    sensor_generation_times_ms: Sequence[float],
+) -> UpdateSchedule:
+    """Pair each application request with the sensor sample that serves it.
+
+    A request at time ``t`` is served by the most recent sensor sample
+    generated at or before ``t``.  Requests made before the sensor's first
+    sample wait for that first sample (its generation time is used, yielding
+    a negative staleness that the AoI model interprets as "the information
+    arrives later than requested" — the Fig. 4(e) ramp-up).
+
+    Args:
+        request_times_ms: sorted application request instants ``T_Req^n``.
+        sensor_generation_times_ms: sorted sensor generation instants.
+
+    Returns:
+        An :class:`UpdateSchedule` pairing requests with generations.
+    """
+    requests = np.asarray(request_times_ms, dtype=float)
+    generations = np.asarray(sensor_generation_times_ms, dtype=float)
+    if len(requests) and np.any(np.diff(requests) < 0.0):
+        raise ValueError("request times must be sorted non-decreasingly")
+    if len(generations) and np.any(np.diff(generations) < 0.0):
+        raise ValueError("generation times must be sorted non-decreasingly")
+    if len(generations) == 0:
+        raise ValueError("the sensor must generate at least one sample")
+
+    # For each request, index of the last generation <= request time.
+    indices = np.searchsorted(generations, requests, side="right") - 1
+    served = indices.copy()
+    # Requests that precede the first sample are served by that first sample.
+    early = indices < 0
+    indices[early] = 0
+    served[early] = -1
+    serving_times = generations[indices]
+    return UpdateSchedule(
+        request_times_ms=requests,
+        generation_times_ms=serving_times,
+        served_by_sample=served,
+    )

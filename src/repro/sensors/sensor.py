@@ -1,0 +1,115 @@
+"""External sensor runtime model.
+
+One :class:`ExternalSensor` wraps a :class:`~repro.config.network.SensorConfig`
+and answers the questions the latency and AoI models ask about it:
+
+* the latency of delivering the ``n``-th update of frame ``q``
+  (Eq. 6: generation period plus propagation delay),
+* the timestamps at which the sensor actually generates information, given
+  its own clock (a deterministic process at ``f_t``), which feed the AoI
+  model and the simulated testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import units
+from repro.config.network import SensorConfig
+from repro.queueing.arrivals import DeterministicProcess, PoissonProcess
+
+
+@dataclass(frozen=True)
+class ExternalSensor:
+    """Runtime view of one external sensor or device.
+
+    Attributes:
+        config: static sensor configuration.
+        propagation_speed_m_per_s: propagation speed of the wireless medium
+            between the sensor and the XR device.
+    """
+
+    config: SensorConfig
+    propagation_speed_m_per_s: float = units.SPEED_OF_LIGHT_M_PER_S
+
+    @property
+    def name(self) -> str:
+        """Sensor identifier."""
+        return self.config.name
+
+    @property
+    def generation_period_ms(self) -> float:
+        """Information generation period ``1 / f_t^m`` (ms)."""
+        return self.config.generation_period_ms
+
+    @property
+    def propagation_delay_ms(self) -> float:
+        """One-way propagation delay from the sensor to the XR device (ms)."""
+        return units.propagation_delay_ms(
+            self.config.distance_m, self.propagation_speed_m_per_s
+        )
+
+    # -- Eq. (6) ----------------------------------------------------------------
+
+    def update_latency_ms(self, distance_m: Optional[float] = None) -> float:
+        """Latency of one information update, ``1/f_t + d/c`` (Eq. 6).
+
+        Args:
+            distance_m: optionally override the configured distance (the paper
+                allows the distance to vary per update as the devices move).
+        """
+        propagation = (
+            self.propagation_delay_ms
+            if distance_m is None
+            else units.propagation_delay_ms(distance_m, self.propagation_speed_m_per_s)
+        )
+        return self.generation_period_ms + propagation
+
+    def total_latency_ms(self, n_updates: int) -> float:
+        """Total latency of ``n_updates`` consecutive updates (inner sum of Eq. 5)."""
+        if n_updates < 0:
+            raise ValueError(f"n_updates must be >= 0, got {n_updates}")
+        return n_updates * self.update_latency_ms()
+
+    # -- generation process -------------------------------------------------------
+
+    def generation_times_ms(self, horizon_ms: float, offset_ms: float = 0.0) -> np.ndarray:
+        """Deterministic generation timestamps up to ``horizon_ms``.
+
+        The first sample is produced one full generation period after
+        ``offset_ms`` — the sensor needs ``1/f_t`` to *produce* the
+        information, which is exactly the behaviour of Fig. 2.
+        """
+        process = DeterministicProcess(
+            period_ms=self.generation_period_ms, offset_ms=offset_ms
+        )
+        times = process.sample_arrival_times(horizon_ms)
+        if offset_ms > 0.0:
+            # DeterministicProcess emits the first event at offset; shift it so
+            # the first information is ready one period after the offset.
+            times = times + self.generation_period_ms
+            times = times[times <= horizon_ms + 1e-12]
+        return times
+
+    def arrival_times_ms(
+        self,
+        horizon_ms: float,
+        rng: Optional[np.random.Generator] = None,
+        poisson: bool = False,
+    ) -> np.ndarray:
+        """Arrival timestamps at the XR input buffer up to ``horizon_ms``.
+
+        By default arrivals are the deterministic generation instants shifted
+        by the propagation delay.  With ``poisson=True`` the arrival process
+        is Poisson at the sensor's effective arrival rate, matching the
+        M/M/1 assumption of the analytical buffer model.
+        """
+        if poisson:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            rate_per_ms = self.config.effective_arrival_rate_hz / 1e3
+            return PoissonProcess(rate_per_ms).sample_arrival_times(horizon_ms, rng)
+        return self.generation_times_ms(horizon_ms) + self.propagation_delay_ms

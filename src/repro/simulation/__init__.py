@@ -1,0 +1,39 @@
+"""Simulated testbed: the framework's substitute for the paper's physical testbed.
+
+The paper validates its analytical models against measurements from real XR
+devices ("Ground Truth").  Without that hardware, this package produces the
+ground truth by simulation:
+
+* :mod:`repro.simulation.des` — a small discrete-event simulation engine,
+* :mod:`repro.simulation.noise` — measurement/OS-jitter noise models,
+* :mod:`repro.simulation.trace` — per-frame trace containers,
+* :mod:`repro.simulation.processes` — stochastic per-segment samplers driven
+  by the hidden testbed truth of :mod:`repro.measurement.truth`,
+* :mod:`repro.simulation.pipeline_sim` — frame-by-frame simulation of the XR
+  pipeline on one device (latency and energy ground truth),
+* :mod:`repro.simulation.sensor_sim` — event-driven AoI emulation
+  (ground truth for Fig. 4(e)/(f)),
+* :mod:`repro.simulation.testbed` — the user-facing
+  :class:`~repro.simulation.testbed.SimulatedTestbed` orchestrating runs over
+  sweeps, mirroring the paper's experimental methodology.
+"""
+
+from repro.simulation.des import EventScheduler
+from repro.simulation.noise import NoiseModel
+from repro.simulation.pipeline_sim import PipelineSimulator
+from repro.simulation.sensor_sim import AoIEmulation, emulate_aoi
+from repro.simulation.testbed import GroundTruthRun, SimulatedTestbed, truth_coefficients
+from repro.simulation.trace import FrameTrace, RunTrace
+
+__all__ = [
+    "AoIEmulation",
+    "EventScheduler",
+    "FrameTrace",
+    "GroundTruthRun",
+    "NoiseModel",
+    "PipelineSimulator",
+    "RunTrace",
+    "SimulatedTestbed",
+    "emulate_aoi",
+    "truth_coefficients",
+]

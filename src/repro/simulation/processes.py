@@ -1,0 +1,132 @@
+"""Stochastic per-segment samplers used by the pipeline simulator.
+
+The simulated testbed's expected behaviour comes from the hidden truth
+surfaces (:mod:`repro.measurement.truth`); a :class:`SegmentSampler` turns
+those expectations into per-frame stochastic samples by adding measurement
+noise, OS jitter, a queueing-theoretic buffer realisation and Bernoulli
+handoff events — the effects a physical testbed exhibits and an analytical
+model does not capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config.application import ApplicationConfig
+from repro.config.device import DeviceSpec
+from repro.config.network import NetworkConfig
+from repro.core.latency import XRLatencyModel
+from repro.core.results import LatencyBreakdown
+from repro.core.segments import RADIO_SEGMENTS, Segment
+from repro.measurement.truth import TestbedTruth
+from repro.network.handoff import HandoffModel
+from repro.simulation.noise import NoiseModel
+
+
+@dataclass
+class SegmentSampler:
+    """Samples noisy per-segment latencies and powers for one configuration.
+
+    Attributes:
+        exact_model: a latency model built with the *truth-exact* coefficient
+            set of the simulated device (see
+            :func:`repro.simulation.testbed.truth_coefficients`); its
+            per-segment expectations are the means the samples wobble around.
+        truth: the hidden testbed truth (for per-segment power draws).
+        device: the simulated device's specification.
+        app: the application configuration of the run.
+        network: the network configuration of the run.
+        noise: the noise model applied to every sample.
+    """
+
+    exact_model: XRLatencyModel
+    truth: TestbedTruth
+    device: DeviceSpec
+    app: ApplicationConfig
+    network: NetworkConfig
+    noise: NoiseModel
+
+    def __post_init__(self) -> None:
+        self._expected: LatencyBreakdown = self.exact_model.end_to_end(self.app, self.network)
+        self._analytic_buffer_ms = self.exact_model.buffering_ms(self.app, self.network)
+        self._handoff_model = HandoffModel(self.network.handoff)
+
+    # -- expectations -------------------------------------------------------------
+
+    @property
+    def expected_breakdown(self) -> LatencyBreakdown:
+        """The truth-exact expected latency breakdown of the configuration."""
+        return self._expected
+
+    def expected_latency_ms(self, segment: Segment) -> float:
+        """Expected latency of one segment."""
+        return self._expected.segment_ms(segment)
+
+    # -- stochastic samples ----------------------------------------------------------
+
+    def sample_buffer_delay_ms(self, rng: np.random.Generator) -> float:
+        """One frame's buffer delay: a sum of exponential M/M/1 sojourn times.
+
+        The analytical model uses the *mean* sojourn times (Eq. 7); the
+        simulated testbed realises the exponential sojourn distribution so the
+        ground truth carries genuine queueing variability.
+        """
+        mu = self.app.buffer_service_rate_hz / 1e3
+        frame_rate = self.app.frame_rate_fps / 1e3
+        sensor_rate = self.network.total_sensor_arrival_rate_hz / 1e3
+        delay = 0.0
+        for arrival_rate in (frame_rate, frame_rate, sensor_rate):
+            if arrival_rate <= 0.0:
+                continue
+            gap = mu - arrival_rate
+            if gap <= 0.0:
+                # Unstable stream: fall back to the analytic mean to keep the
+                # simulation finite (the analytical model would refuse).
+                delay += self._analytic_buffer_ms / 3.0
+                continue
+            delay += float(rng.exponential(1.0 / gap))
+        return delay
+
+    def sample_handoff_ms(self, rng: np.random.Generator) -> tuple[float, bool]:
+        """Sample one frame's handoff latency as a Bernoulli event.
+
+        Returns a (latency, occurred) pair: most frames see no handoff, a few
+        pay the full single-handoff latency — the analytical model charges
+        the average ``l_HO * P(HO)`` to every frame instead.
+        """
+        if not self.network.handoff.enabled:
+            return 0.0, False
+        probability = self._handoff_model.handoff_probability(self.app.frame_period_ms)
+        if rng.random() >= probability:
+            return 0.0, False
+        latency = self._handoff_model.single_handoff_latency_ms()
+        return self.noise.latency_ms(latency, rng), True
+
+    def sample_latency_ms(self, segment: Segment, rng: np.random.Generator) -> float:
+        """Sample one frame's latency for a segment (excluding buffer/handoff)."""
+        expected = self.expected_latency_ms(segment)
+        if segment is Segment.RENDERING:
+            # Replace the analytic mean buffering delay with a realised one.
+            expected = max(expected - self._analytic_buffer_ms, 0.0)
+        return self.noise.latency_ms(expected, rng)
+
+    def segment_power_w(self, segment: Segment) -> float:
+        """Expected power draw of a segment on the simulated device."""
+        if segment in RADIO_SEGMENTS:
+            if segment is Segment.HANDOFF:
+                return self.network.handoff.power_w
+            return self.network.radio_tx_power_w
+        return self.truth.segment_power_w(
+            segment.value,
+            self.app.cpu_freq_ghz,
+            self.app.gpu_freq_ghz,
+            self.app.cpu_share,
+            device_name=self.device.name,
+        )
+
+    def sample_power_w(self, segment: Segment, rng: np.random.Generator) -> float:
+        """Sample one frame's power draw for a segment."""
+        return self.noise.power_w(self.segment_power_w(segment), rng)

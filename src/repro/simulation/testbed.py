@@ -1,0 +1,221 @@
+"""The simulated testbed orchestrating ground-truth runs.
+
+:class:`SimulatedTestbed` mirrors the paper's experimental methodology: pick
+an XR device and an edge server (Table I), run the XR application for a
+number of frames at each operating point of a sweep, and report the mean
+measured latency/energy per point.  The resulting
+:class:`GroundTruthRun`/:class:`GroundTruthSweep` objects are what the
+evaluation harness compares the analytical models (and the FACT/LEAF
+baselines) against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.device import DeviceSpec, EdgeServerSpec
+from repro.config.network import NetworkConfig
+from repro.config.workload import SweepConfig
+from repro.core.coefficients import CoefficientSet, EncodingCoefficients, QuadraticBlend
+from repro.core.results import LatencyBreakdown
+from repro.core.segments import Segment
+from repro.cnn.complexity import CNNComplexityModel
+from repro.devices.catalog import get_device, get_edge_server
+from repro.measurement.truth import TestbedTruth
+from repro.simulation.noise import NoiseModel
+from repro.simulation.pipeline_sim import PipelineSimulator
+from repro.simulation.trace import RunTrace
+
+
+def truth_coefficients(truth: TestbedTruth, device_name: Optional[str] = None) -> CoefficientSet:
+    """The *exact* coefficient set describing the simulated testbed's truth.
+
+    The hidden truth surfaces are affine/quadratic in exactly the feature
+    structure of the paper's regression forms, so for a given device they can
+    be written down as an exact :class:`~repro.core.coefficients.CoefficientSet`.
+    The simulated testbed uses this set as the expected behaviour of the
+    device; the calibrated (regression-fitted) set the analytical framework
+    uses differs from it by fitting error and by averaging over the device
+    population — which is precisely the model-vs-ground-truth gap the paper
+    quantifies.
+    """
+    compute_factor, power_factor = truth.device_factors.get(device_name, (1.0, 1.0)) if device_name else (1.0, 1.0)
+    resource = QuadraticBlend(
+        cpu=(
+            compute_factor * truth.cpu_capability_intercept,
+            compute_factor * truth.cpu_capability_slope,
+            0.0,
+        ),
+        gpu=(
+            compute_factor * truth.gpu_capability_intercept,
+            compute_factor * truth.gpu_capability_slope,
+            0.0,
+        ),
+    )
+    cpu_p = truth.cpu_power_coeffs
+    gpu_p = truth.gpu_power_coeffs
+    power = QuadraticBlend(
+        cpu=(power_factor * cpu_p[0], power_factor * cpu_p[1], power_factor * cpu_p[2]),
+        gpu=(power_factor * gpu_p[0], power_factor * gpu_p[1], power_factor * gpu_p[2]),
+    )
+    return CoefficientSet(
+        resource=resource,
+        power=power,
+        encoding=EncodingCoefficients.from_flat(truth.encoding_coeffs),
+        cnn_complexity=CNNComplexityModel.from_coefficients(
+            truth.cnn_complexity_coeffs, r_squared=1.0
+        ),
+        decode_discount=truth.decode_discount,
+        edge_compute_scale=truth.edge_compute_scale,
+        r_squared={"source": 1.0},
+        source="truth",
+    )
+
+
+@dataclass(frozen=True)
+class GroundTruthRun:
+    """Aggregated ground truth of one operating point.
+
+    Attributes:
+        app: the application configuration of the runs.
+        device_name: the simulated device.
+        trace: the concatenated per-frame traces of all repetitions.
+        mean_latency_ms: mean measured end-to-end latency.
+        mean_energy_mj: mean measured end-to-end energy.
+    """
+
+    app: ApplicationConfig
+    device_name: str
+    trace: RunTrace
+    mean_latency_ms: float
+    mean_energy_mj: float
+
+    def segment_latency_ms(self, segment: Segment) -> float:
+        """Mean measured latency of one segment."""
+        return self.trace.mean_segment_latency_ms().get(segment, 0.0)
+
+
+#: A sweep of ground-truth runs keyed by (cpu_freq_ghz, frame_side_px).
+GroundTruthSweep = Dict[Tuple[float, float], GroundTruthRun]
+
+
+class SimulatedTestbed:
+    """Runs the simulated XR testbed over operating points and sweeps.
+
+    Args:
+        device: XR device to "measure" (catalog name or spec).  The paper
+            evaluates its models on held-out devices; the default is XR2
+            (OnePlus 8 Pro), one of the paper's test devices.
+        edge: edge server assisting the device (catalog name or spec).
+        truth: hidden response surfaces of the testbed.
+        noise: measurement/OS noise model.
+        seed: base RNG seed; individual runs derive their seeds from it.
+    """
+
+    def __init__(
+        self,
+        device: Union[str, DeviceSpec] = "XR2",
+        edge: Union[str, EdgeServerSpec, None] = "EDGE-AGX",
+        truth: Optional[TestbedTruth] = None,
+        noise: Optional[NoiseModel] = None,
+        seed: int = 2024,
+    ) -> None:
+        self.device = get_device(device) if isinstance(device, str) else device
+        if isinstance(edge, str):
+            edge = get_edge_server(edge)
+        self.edge = edge
+        self.truth = truth if truth is not None else TestbedTruth()
+        self.noise = noise if noise is not None else NoiseModel()
+        self.seed = seed
+        self.exact_coefficients = truth_coefficients(self.truth, self.device.name)
+        self._simulator = PipelineSimulator(
+            device=self.device,
+            edge=self.edge,
+            exact_coefficients=self.exact_coefficients,
+            truth=self.truth,
+            noise=self.noise,
+        )
+
+    # -- single operating point ------------------------------------------------------
+
+    def run(
+        self,
+        app: ApplicationConfig,
+        network: Optional[NetworkConfig] = None,
+        n_frames: int = 20,
+        repetitions: int = 3,
+        seed_offset: int = 0,
+    ) -> GroundTruthRun:
+        """Measure one operating point (averaging ``repetitions`` runs)."""
+        if repetitions <= 0:
+            raise ValueError(f"repetitions must be > 0, got {repetitions}")
+        frames = []
+        for repetition in range(repetitions):
+            run_seed = self.seed + seed_offset * 1000 + repetition
+            trace = self._simulator.simulate(
+                app, network=network, n_frames=n_frames, seed=run_seed
+            )
+            frames.extend(trace.frames)
+        trace = RunTrace(frames)
+        return GroundTruthRun(
+            app=app,
+            device_name=self.device.name,
+            trace=trace,
+            mean_latency_ms=trace.mean_latency_ms,
+            mean_energy_mj=trace.mean_energy_mj,
+        )
+
+    # -- sweeps -----------------------------------------------------------------------
+
+    def sweep(
+        self,
+        sweep: Optional[SweepConfig] = None,
+        app: Optional[ApplicationConfig] = None,
+        network: Optional[NetworkConfig] = None,
+        mode: Optional[ExecutionMode] = None,
+    ) -> GroundTruthSweep:
+        """Measure every (CPU frequency, frame size) point of a sweep."""
+        sweep = sweep if sweep is not None else SweepConfig.paper_default()
+        app = app if app is not None else ApplicationConfig.object_detection_default()
+        if mode is not None:
+            app = app.with_mode(mode)
+        results: GroundTruthSweep = {}
+        for index, (cpu_freq, frame_side) in enumerate(sweep.points()):
+            point_app = replace(app, cpu_freq_ghz=cpu_freq, frame_side_px=frame_side)
+            results[(cpu_freq, frame_side)] = self.run(
+                point_app,
+                network=network,
+                n_frames=sweep.frames_per_run,
+                repetitions=sweep.repetitions,
+                seed_offset=index,
+            )
+        return results
+
+    # -- reference points for baseline calibration ---------------------------------------
+
+    def reference_run(
+        self,
+        app: Optional[ApplicationConfig] = None,
+        network: Optional[NetworkConfig] = None,
+        mode: ExecutionMode = ExecutionMode.REMOTE,
+        n_frames: int = 40,
+    ) -> GroundTruthRun:
+        """A well-averaged run at the paper's central operating point.
+
+        Used to calibrate the FACT/LEAF baselines' constants, which both
+        require a reference measurement (they have no regression layer of
+        their own).
+        """
+        app = app if app is not None else ApplicationConfig.object_detection_default()
+        app = app.with_mode(mode)
+        return self.run(app, network=network, n_frames=n_frames, repetitions=3, seed_offset=999)
+
+    def expected_breakdown(
+        self, app: ApplicationConfig, network: Optional[NetworkConfig] = None
+    ) -> LatencyBreakdown:
+        """The truth-exact expected breakdown at an operating point (no noise)."""
+        return self._simulator.expected_breakdown(app, network)

@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.network import NetworkConfig, SensorConfig
+from repro.config.workload import SweepConfig, WorkloadConfig
+from repro.core.coefficients import CoefficientSet, calibrated_coefficients
+from repro.core.framework import XRPerformanceModel
+from repro.devices.catalog import get_device, get_edge_server
+from repro.measurement.truth import TestbedTruth
+from repro.simulation.testbed import SimulatedTestbed
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def app() -> ApplicationConfig:
+    """The default object-detection application configuration."""
+    return ApplicationConfig.object_detection_default()
+
+
+@pytest.fixture
+def remote_app(app: ApplicationConfig) -> ApplicationConfig:
+    """The default application configured for remote inference."""
+    return app.with_mode(ExecutionMode.REMOTE)
+
+
+@pytest.fixture
+def network() -> NetworkConfig:
+    """The default network topology (three sensors, one edge server)."""
+    return NetworkConfig()
+
+
+@pytest.fixture
+def device_spec():
+    """The XR1 device specification."""
+    return get_device("XR1")
+
+
+@pytest.fixture
+def test_device_spec():
+    """The XR2 device specification (one of the paper's held-out test devices)."""
+    return get_device("XR2")
+
+
+@pytest.fixture
+def edge_spec():
+    """The AGX Xavier edge server specification."""
+    return get_edge_server("EDGE-AGX")
+
+
+@pytest.fixture
+def truth() -> TestbedTruth:
+    """The default hidden testbed truth."""
+    return TestbedTruth()
+
+
+@pytest.fixture
+def paper_coefficients() -> CoefficientSet:
+    """The paper's published coefficient set."""
+    return CoefficientSet.paper()
+
+
+@pytest.fixture(scope="session")
+def session_calibrated_coefficients() -> CoefficientSet:
+    """Calibrated coefficients shared across the whole test session (cached)."""
+    return calibrated_coefficients(n_samples=2000, seed=7)
+
+
+@pytest.fixture
+def performance_model() -> XRPerformanceModel:
+    """A default performance model (XR1 + AGX edge, paper coefficients)."""
+    return XRPerformanceModel(device="XR1", edge="EDGE-AGX")
+
+
+@pytest.fixture(scope="session")
+def quick_testbed() -> SimulatedTestbed:
+    """A simulated testbed shared by the slower integration tests."""
+    return SimulatedTestbed(device="XR2", edge="EDGE-AGX", seed=3)
+
+
+@pytest.fixture
+def quick_sweep() -> SweepConfig:
+    """The reduced evaluation sweep."""
+    return SweepConfig.quick()
+
+
+@pytest.fixture
+def aoi_workload() -> WorkloadConfig:
+    """The paper's AoI emulation workload."""
+    return WorkloadConfig.paper_default()

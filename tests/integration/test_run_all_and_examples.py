@@ -1,0 +1,45 @@
+"""Integration tests: the run-all harness and the example scripts."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+
+class TestRunAll:
+    def test_quick_run_writes_experiments_markdown(self, tmp_path, monkeypatch):
+        from repro.evaluation import run_all
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        output = tmp_path / "EXPERIMENTS.md"
+        exit_code = run_all.main(["--quick", "--output", str(output)])
+        assert exit_code == 0
+        content = output.read_text()
+        assert "Fig. 4a" in content
+        assert "Fig. 5b" in content
+        assert (tmp_path / "results" / "figure_4a.txt").exists()
+        assert (tmp_path / "results" / "table_I.txt").exists()
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(path.name for path in EXAMPLES_DIR.glob("*.py")),
+)
+def test_example_scripts_run(script, tmp_path, monkeypatch, capsys):
+    """Every example script must run end-to-end and print something useful."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setenv("REPRO_EXAMPLE_QUICK", "1")
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    captured = capsys.readouterr()
+    assert len(captured.out.strip()) > 0
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = list(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3

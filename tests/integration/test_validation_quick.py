@@ -1,0 +1,85 @@
+"""Integration tests: quick end-to-end reproduction of the paper's headline claims.
+
+These tests run the full chain (synthetic calibration -> analytical model ->
+simulated testbed -> comparison) on the reduced sweep and assert the paper's
+qualitative claims: the proposed model tracks the ground truth within a few
+percent, the AoI model matches the emulation, and the proposed model is more
+accurate than both FACT and LEAF.
+"""
+
+import pytest
+
+from repro.config.application import ExecutionMode
+from repro.evaluation.figures import (
+    FigureContext,
+    figure_4a,
+    figure_4b,
+    figure_4c,
+    figure_4d,
+    figure_4e,
+    figure_4f,
+    figure_5a,
+    figure_5b,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return FigureContext(quick=True)
+
+
+class TestLatencyEnergyValidation:
+    def test_fig4a_local_latency_error_small(self, context):
+        figure = figure_4a(context=context)
+        assert figure.mean_error_percent < 8.0
+
+    def test_fig4b_remote_latency_error_small(self, context):
+        figure = figure_4b(context=context)
+        assert figure.mean_error_percent < 8.0
+
+    def test_fig4c_local_energy_error_small(self, context):
+        figure = figure_4c(context=context)
+        assert figure.mean_error_percent < 10.0
+
+    def test_fig4d_remote_energy_error_small(self, context):
+        figure = figure_4d(context=context)
+        assert figure.mean_error_percent < 10.0
+
+    def test_ground_truth_curves_ordered_by_cpu_frequency(self, context):
+        comparison = context.comparison("latency", ExecutionMode.LOCAL)
+        slowest = comparison.series[0]
+        fastest = comparison.series[-1]
+        # Higher CPU clock -> lower latency at every frame size.
+        for slow_value, fast_value in zip(slowest.ground_truth, fastest.ground_truth):
+            assert fast_value < slow_value
+
+    def test_remote_latency_exceeds_local_latency(self, context):
+        local = context.comparison("latency", ExecutionMode.LOCAL)
+        remote = context.comparison("latency", ExecutionMode.REMOTE)
+        # With a lightweight local CNN and an uncongested edge, the remote path
+        # pays for encoding + transmission, so it is slower on this testbed.
+        assert remote.series[0].ground_truth[0] > local.series[0].ground_truth[0]
+
+
+class TestAoIValidation:
+    def test_fig4e_model_tracks_emulation(self):
+        figure = figure_4e()
+        assert figure.mean_error_percent() < 15.0
+
+    def test_fig4f_matches_paper_staircase(self):
+        figure = figure_4f()
+        staircase = figure.analytical[0].aoi_ms[:3]
+        assert staircase == pytest.approx([10.0, 15.0, 20.0], abs=1.5)
+
+
+class TestBaselineComparison:
+    def test_fig5a_proposed_wins_latency(self, context):
+        figure = figure_5a(context=context)
+        assert figure.gain_vs_fact > 0.0
+        assert figure.gain_vs_leaf > 0.0
+        assert figure.mean_accuracy("Proposed") > 90.0
+
+    def test_fig5b_proposed_wins_energy(self, context):
+        figure = figure_5b(context=context)
+        assert figure.gain_vs_fact > 0.0
+        assert figure.gain_vs_leaf > 0.0

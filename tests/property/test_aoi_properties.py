@@ -1,0 +1,69 @@
+"""Property-based tests of the AoI / RoI model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.network import SensorConfig
+from repro.core.aoi import AoIModel
+
+frequencies = st.floats(min_value=20.0, max_value=1000.0)
+required_periods = st.floats(min_value=1.0, max_value=50.0)
+distances = st.floats(min_value=0.0, max_value=1000.0)
+
+
+class TestAoIProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(frequency=frequencies, period=required_periods, distance=distances,
+           index=st.integers(min_value=1, max_value=50))
+    def test_aoi_positive_and_bounded_for_adequate_sensors(
+        self, frequency, period, distance, index
+    ):
+        model = AoIModel(buffer_service_rate_hz=1e6)
+        sensor = SensorConfig(name="s", generation_frequency_hz=frequency, distance_m=distance)
+        aoi = model.update_aoi_ms(sensor, index, period, buffer_time_ms=0.0)
+        # A sensor at least as fast as the requirement never serves information
+        # older than two generation periods (plus delivery overheads).
+        if sensor.generation_period_ms <= period:
+            assert aoi >= 0.0
+            assert aoi <= 2.0 * sensor.generation_period_ms + 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(frequency=frequencies, period=required_periods)
+    def test_slow_sensors_age_and_fast_sensors_stay_bounded(self, frequency, period):
+        model = AoIModel(buffer_service_rate_hz=1e6)
+        sensor = SensorConfig(name="s", generation_frequency_hz=frequency, distance_m=0.0)
+        first = model.update_aoi_ms(sensor, 1, period, 0.0)
+        tenth = model.update_aoi_ms(sensor, 10, period, 0.0)
+        if sensor.generation_period_ms <= period:
+            assert tenth <= 2.0 * sensor.generation_period_ms + 1e-9
+        else:
+            assert tenth > first
+
+    @settings(max_examples=60, deadline=None)
+    @given(frequency=frequencies, period=required_periods, distance=distances)
+    def test_aoi_increases_with_distance_and_buffer_time(self, frequency, period, distance):
+        model = AoIModel(buffer_service_rate_hz=1e6)
+        near = SensorConfig(name="s", generation_frequency_hz=frequency, distance_m=0.0)
+        far = SensorConfig(name="s", generation_frequency_hz=frequency, distance_m=distance)
+        assert model.update_aoi_ms(far, 3, period, 0.0) >= model.update_aoi_ms(near, 3, period, 0.0)
+        assert model.update_aoi_ms(near, 3, period, 5.0) > model.update_aoi_ms(near, 3, period, 0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(frequency=st.floats(min_value=40.0, max_value=400.0),
+           period=st.floats(min_value=2.0, max_value=20.0))
+    def test_roi_at_least_one_means_fresh(self, frequency, period):
+        model = AoIModel(buffer_service_rate_hz=1e9)
+        sensor = SensorConfig(name="s", generation_frequency_hz=frequency, distance_m=0.0)
+        timeline = model.timeline(sensor, period, horizon_ms=200.0)
+        if timeline.n_updates == 0:
+            return
+        # RoI >= 1 for every update if and only if the timeline is fresh.
+        assert timeline.is_fresh == bool((timeline.roi >= 1.0).all())
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrival=st.floats(min_value=1.0, max_value=900.0))
+    def test_buffer_time_positive_and_decreasing_in_service_rate(self, arrival):
+        slow = AoIModel(buffer_service_rate_hz=1000.0)
+        fast = AoIModel(buffer_service_rate_hz=5000.0)
+        assert slow.average_buffer_time_ms(arrival) > fast.average_buffer_time_ms(arrival) > 0.0

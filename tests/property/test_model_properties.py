@@ -1,0 +1,105 @@
+"""Property-based tests of the analytical latency/energy models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.network import NetworkConfig
+from repro.core.energy import XREnergyModel
+from repro.core.latency import XRLatencyModel
+from repro.core.power import PowerModel
+from repro.core.coefficients import CoefficientSet
+from repro.core.segments import Segment
+from repro.devices.catalog import DEVICE_CATALOG, get_device, get_edge_server
+
+# Operating-point strategies covering the paper's sweep domain.
+frame_sides = st.floats(min_value=250.0, max_value=750.0)
+cpu_freqs = st.floats(min_value=1.0, max_value=3.2)
+cpu_shares = st.floats(min_value=0.0, max_value=1.0)
+device_names = st.sampled_from(sorted(DEVICE_CATALOG))
+modes = st.sampled_from([ExecutionMode.LOCAL, ExecutionMode.REMOTE])
+
+_NETWORK = NetworkConfig()
+_COEFFICIENTS = CoefficientSet.paper()
+
+
+def _models(device_name: str):
+    device = get_device(device_name)
+    latency = XRLatencyModel(device=device, edge=get_edge_server("EDGE-AGX"), coefficients=_COEFFICIENTS)
+    power = PowerModel(coefficients=_COEFFICIENTS, device=device)
+    return latency, XREnergyModel(latency_model=latency, power_model=power)
+
+
+def _app(frame_side, cpu_freq, cpu_share, mode):
+    app = ApplicationConfig(
+        frame_side_px=frame_side, cpu_freq_ghz=cpu_freq, cpu_share=cpu_share
+    )
+    return app.with_mode(mode)
+
+
+class TestLatencyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(frame_side=frame_sides, cpu_freq=cpu_freqs, cpu_share=cpu_shares,
+           device_name=device_names, mode=modes)
+    def test_all_segments_non_negative_and_total_consistent(
+        self, frame_side, cpu_freq, cpu_share, device_name, mode
+    ):
+        latency_model, _ = _models(device_name)
+        breakdown = latency_model.end_to_end(_app(frame_side, cpu_freq, cpu_share, mode), _NETWORK)
+        assert all(value >= 0.0 for value in breakdown.per_segment_ms.values())
+        assert breakdown.total_ms == pytest.approx(
+            sum(breakdown.per_segment_ms[s] for s in breakdown.included_segments)
+        )
+        assert breakdown.total_ms > 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(cpu_freq=cpu_freqs, cpu_share=cpu_shares, device_name=device_names, mode=modes)
+    def test_latency_monotone_in_frame_size(self, cpu_freq, cpu_share, device_name, mode):
+        latency_model, _ = _models(device_name)
+        small = latency_model.end_to_end(_app(300.0, cpu_freq, cpu_share, mode), _NETWORK)
+        large = latency_model.end_to_end(_app(700.0, cpu_freq, cpu_share, mode), _NETWORK)
+        assert large.total_ms > small.total_ms
+
+    @settings(max_examples=30, deadline=None)
+    @given(frame_side=frame_sides, cpu_freq=cpu_freqs, cpu_share=cpu_shares,
+           device_name=device_names)
+    def test_mode_segment_partition(self, frame_side, cpu_freq, cpu_share, device_name):
+        latency_model, _ = _models(device_name)
+        local = latency_model.end_to_end(
+            _app(frame_side, cpu_freq, cpu_share, ExecutionMode.LOCAL), _NETWORK
+        )
+        remote = latency_model.end_to_end(
+            _app(frame_side, cpu_freq, cpu_share, ExecutionMode.REMOTE), _NETWORK
+        )
+        assert Segment.ENCODING not in local.per_segment_ms
+        assert Segment.LOCAL_INFERENCE not in remote.per_segment_ms
+
+
+class TestEnergyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(frame_side=frame_sides, cpu_freq=cpu_freqs, cpu_share=cpu_shares,
+           device_name=device_names, mode=modes)
+    def test_energy_non_negative_and_consistent_with_latency(
+        self, frame_side, cpu_freq, cpu_share, device_name, mode
+    ):
+        latency_model, energy_model = _models(device_name)
+        app = _app(frame_side, cpu_freq, cpu_share, mode)
+        latency = latency_model.end_to_end(app, _NETWORK)
+        energy = energy_model.from_latency_breakdown(latency, app, _NETWORK)
+        assert energy.total_mj > 0.0
+        assert set(energy.per_segment_mj) == set(latency.per_segment_ms)
+        # Energy of any segment never exceeds (max plausible power) x latency.
+        max_power = 25.0
+        for segment, value in energy.per_segment_mj.items():
+            assert value <= max_power * latency.per_segment_ms[segment] + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(frame_side=frame_sides, cpu_freq=cpu_freqs, device_name=device_names)
+    def test_base_energy_proportional_to_total_latency(self, frame_side, cpu_freq, device_name):
+        latency_model, energy_model = _models(device_name)
+        app = _app(frame_side, cpu_freq, 0.8, ExecutionMode.LOCAL)
+        latency = latency_model.end_to_end(app, _NETWORK)
+        energy = energy_model.from_latency_breakdown(latency, app, _NETWORK)
+        device = get_device(device_name)
+        assert energy.base_mj == pytest.approx(device.base_power_w * latency.total_ms)

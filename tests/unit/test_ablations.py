@@ -1,0 +1,50 @@
+"""Unit tests for the ablation studies."""
+
+import pytest
+
+from repro.evaluation.ablations import (
+    ablation_buffer_model,
+    ablation_complexity_mode,
+    ablation_coefficient_source,
+    ablation_memory_term,
+)
+
+
+class TestComplexityAblation:
+    def test_reports_one_row_per_lightweight_cnn(self):
+        from repro.cnn.zoo import list_cnns
+
+        result = ablation_complexity_mode()
+        assert len(result.rows) == len(list_cnns(tier="lightweight"))
+        assert "CNN complexity" in result.to_text()
+
+
+class TestMemoryAblation:
+    def test_memory_term_increases_latency(self):
+        result = ablation_memory_term()
+        for row in result.rows:
+            assert float(row[1]) >= float(row[2])
+
+
+class TestCoefficientAblation:
+    def test_calibrated_beats_paper_constants_on_simulated_testbed(self):
+        result = ablation_coefficient_source(quick=True)
+        assert "calibrated" in result.headline
+        # Extract the two error percentages from the headline sentence.
+        paper_error = float(result.headline.split("paper constants ")[1].split("%")[0])
+        calibrated_error = float(result.headline.split("calibrated constants ")[1].split("%")[0])
+        assert calibrated_error < paper_error
+
+
+class TestBufferAblation:
+    def test_md1_always_faster_than_mm1(self):
+        result = ablation_buffer_model()
+        for row in result.rows:
+            assert float(row[2]) < float(row[1])
+
+    def test_simulation_close_to_mm1(self):
+        result = ablation_buffer_model()
+        for row in result.rows:
+            mm1 = float(row[1])
+            simulated = float(row[3])
+            assert simulated == pytest.approx(mm1, rel=0.15)

@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_device_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--device", "PIXEL9"])
+
+
+class TestCommands:
+    def test_analyze_prints_report(self, capsys):
+        assert main(["analyze", "--device", "XR2", "--mode", "remote"]) == 0
+        output = capsys.readouterr().out
+        assert "Latency (ms):" in output
+        assert "Energy (mJ):" in output
+
+    def test_sweep_prints_all_points(self, capsys):
+        assert main(["sweep", "--device", "XR1"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("\n") >= 16  # 15 sweep rows + header
+
+    def test_offload_ranks_three_placements(self, capsys):
+        assert main(["offload", "--device", "XR6", "--objective", "energy"]) == 0
+        output = capsys.readouterr().out
+        assert "1." in output and "3." in output
+        assert "local" in output and "remote" in output
+
+    def test_aoi_reports_each_frequency(self, capsys):
+        assert main(["aoi", "--frequencies", "200", "100", "50"]) == 0
+        output = capsys.readouterr().out
+        for frequency in ("200", "100", "50"):
+            assert frequency in output
+
+    def test_session_analytical_mode(self, capsys):
+        assert main(["session", "--device", "XR6", "--frames", "20", "--analytical"]) == 0
+        assert "battery" in capsys.readouterr().out
+
+    def test_tables_prints_both_tables(self, capsys):
+        assert main(["tables"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I:" in output
+        assert "Table II:" in output
+
+    def test_validate_quick(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["validate", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 4a" in output
+        assert "reproduction mean error" in output

@@ -1,0 +1,97 @@
+"""Unit tests for the network / sensor / handoff configuration."""
+
+import pytest
+
+from repro import units
+from repro.config.network import HandoffConfig, NetworkConfig, SensorConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestSensorConfig:
+    def test_generation_period(self):
+        sensor = SensorConfig(name="s", generation_frequency_hz=200.0)
+        assert sensor.generation_period_ms == pytest.approx(5.0)
+
+    def test_default_arrival_rate_equals_generation_rate(self):
+        sensor = SensorConfig(name="s", generation_frequency_hz=120.0)
+        assert sensor.effective_arrival_rate_hz == pytest.approx(120.0)
+
+    def test_explicit_arrival_rate_wins(self):
+        sensor = SensorConfig(
+            name="s", generation_frequency_hz=120.0, arrival_rate_hz=60.0
+        )
+        assert sensor.effective_arrival_rate_hz == pytest.approx(60.0)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigurationError):
+            SensorConfig(name="s", generation_frequency_hz=0.0)
+
+
+class TestHandoffConfig:
+    def test_disabled_by_default(self):
+        assert not HandoffConfig().enabled
+
+    def test_probability_must_be_fraction(self):
+        with pytest.raises(ConfigurationError):
+            HandoffConfig(handoff_probability=1.5)
+
+    def test_cell_radius_positive(self):
+        with pytest.raises(ConfigurationError):
+            HandoffConfig(cell_radius_m=0.0)
+
+
+class TestNetworkConfig:
+    def test_default_has_three_sensors(self, network):
+        assert network.n_sensors == 3
+
+    def test_sensor_names_must_be_unique(self):
+        sensors = (
+            SensorConfig(name="dup", generation_frequency_hz=10.0),
+            SensorConfig(name="dup", generation_frequency_hz=20.0),
+        )
+        with pytest.raises(ConfigurationError, match="unique"):
+            NetworkConfig(sensors=sensors)
+
+    def test_total_sensor_arrival_rate(self, network):
+        expected = sum(s.generation_frequency_hz for s in network.sensors)
+        assert network.total_sensor_arrival_rate_hz == pytest.approx(expected)
+
+    def test_edge_propagation_delay(self, network):
+        assert network.edge_propagation_delay_ms == pytest.approx(
+            units.propagation_delay_ms(network.edge_distance_m)
+        )
+
+    def test_with_throughput(self, network):
+        assert network.with_throughput(50.0).throughput_mbps == pytest.approx(50.0)
+
+    def test_with_sensors_replaces_population(self, network):
+        single = (SensorConfig(name="only", generation_frequency_hz=10.0),)
+        assert network.with_sensors(single).n_sensors == 1
+
+    def test_rejects_zero_throughput(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(throughput_mbps=0.0)
+
+    def test_empty_sensor_population_allowed(self):
+        assert NetworkConfig(sensors=()).n_sensors == 0
+        assert NetworkConfig(sensors=()).total_sensor_arrival_rate_hz == 0.0
+
+
+class TestWorkloadAndSweep:
+    def test_sweep_points_count(self, quick_sweep):
+        assert quick_sweep.n_points == len(list(quick_sweep.points()))
+
+    def test_paper_sweep_is_5_by_3(self):
+        from repro.config.workload import SweepConfig
+
+        sweep = SweepConfig.paper_default()
+        assert sweep.n_points == 15
+
+    def test_workload_required_frequency(self, aoi_workload):
+        assert aoi_workload.required_update_frequency_hz == pytest.approx(200.0)
+
+    def test_workload_distance_length_mismatch_rejected(self):
+        from repro.config.workload import WorkloadConfig
+
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(sensor_frequencies_hz=(10.0, 20.0), sensor_distances_m=(1.0,))

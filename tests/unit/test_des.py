@@ -1,0 +1,102 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.des import EventScheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(5.0, lambda s: order.append("b"))
+        scheduler.schedule_at(1.0, lambda s: order.append("a"))
+        scheduler.schedule_at(9.0, lambda s: order.append("c"))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule_at(3.0, lambda s: seen.append(s.now_ms))
+        scheduler.schedule_at(7.5, lambda s: seen.append(s.now_ms))
+        scheduler.run()
+        assert seen == [3.0, 7.5]
+        assert scheduler.now_ms == 7.5
+
+    def test_schedule_in_is_relative(self):
+        scheduler = EventScheduler()
+        times = []
+
+        def first(s):
+            times.append(s.now_ms)
+            s.schedule_in(2.0, lambda inner: times.append(inner.now_ms))
+
+        scheduler.schedule_at(4.0, first)
+        scheduler.run()
+        assert times == [4.0, 6.0]
+
+    def test_same_time_events_fifo_by_priority_then_sequence(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(1.0, lambda s: order.append("second"), priority=1)
+        scheduler.schedule_at(1.0, lambda s: order.append("first"), priority=0)
+        scheduler.run()
+        assert order == ["first", "second"]
+
+    def test_scheduling_in_the_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(5.0, lambda s: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(1.0, lambda s: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule_in(-1.0, lambda s: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(2.0, lambda s: fired.append(2.0))
+        scheduler.schedule_at(10.0, lambda s: fired.append(10.0))
+        scheduler.run(until_ms=5.0)
+        assert fired == [2.0]
+        assert scheduler.now_ms == 5.0
+        assert scheduler.pending_events == 1
+
+    def test_cancelled_events_do_not_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule_at(1.0, lambda s: fired.append("x"))
+        scheduler.cancel(event)
+        scheduler.run()
+        assert fired == []
+
+    def test_processed_event_counter(self):
+        scheduler = EventScheduler()
+        for time in (1.0, 2.0, 3.0):
+            scheduler.schedule_at(time, lambda s: None)
+        scheduler.run()
+        assert scheduler.processed_events == 3
+
+    def test_runaway_schedule_detected(self):
+        scheduler = EventScheduler()
+
+        def reschedule(s):
+            s.schedule_in(0.1, reschedule)
+
+        scheduler.schedule_at(0.0, reschedule)
+        with pytest.raises(SimulationError, match="budget"):
+            scheduler.run(max_events=100)
+
+    def test_reset(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda s: None)
+        scheduler.run()
+        scheduler.reset()
+        assert scheduler.now_ms == 0.0
+        assert scheduler.pending_events == 0

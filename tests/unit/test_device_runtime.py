@@ -1,0 +1,88 @@
+"""Unit tests for the runtime XR device model."""
+
+import pytest
+
+from repro.devices.catalog import get_device
+from repro.devices.device import XRDevice
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_defaults_to_max_clocks(self):
+        device = XRDevice(spec=get_device("XR1"))
+        assert device.cpu_freq_ghz == pytest.approx(3.13)
+        assert device.gpu_freq_ghz == pytest.approx(get_device("XR1").gpu_max_freq_ghz)
+
+    def test_from_catalog(self):
+        device = XRDevice.from_catalog("XR2", cpu_freq_ghz=2.0)
+        assert device.spec.name == "XR2"
+        assert device.cpu_freq_ghz == pytest.approx(2.0)
+
+    def test_overclocking_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XRDevice(spec=get_device("XR3"), cpu_freq_ghz=5.0)
+
+    def test_battery_and_thermal_created_from_spec(self):
+        device = XRDevice(spec=get_device("XR1"))
+        assert device.battery.capacity_mj > 0
+        assert device.thermal.thermal_fraction == pytest.approx(
+            get_device("XR1").thermal_fraction
+        )
+
+    def test_power_rail_optional(self):
+        assert XRDevice(spec=get_device("XR1")).power_rail is None
+        assert XRDevice.from_catalog("XR1", with_power_rail=True).power_rail is not None
+
+
+class TestDVFS:
+    def test_set_clocks(self):
+        device = XRDevice(spec=get_device("XR1"))
+        device.set_clocks(cpu_freq_ghz=1.5)
+        assert device.cpu_freq_ghz == pytest.approx(1.5)
+
+    def test_set_clocks_validates(self):
+        device = XRDevice(spec=get_device("XR1"))
+        with pytest.raises(ConfigurationError):
+            device.set_clocks(gpu_freq_ghz=10.0)
+
+
+class TestConsumption:
+    def test_consume_returns_energy(self):
+        device = XRDevice(spec=get_device("XR1"))
+        energy = device.consume("inference", latency_ms=100.0, power_w=2.0)
+        assert energy == pytest.approx(200.0)
+
+    def test_consume_drains_battery(self):
+        device = XRDevice(spec=get_device("XR1"))
+        start = device.battery.remaining_mj
+        device.consume("inference", 100.0, 2.0)
+        assert device.battery.remaining_mj == pytest.approx(start - 200.0)
+
+    def test_consume_advances_thermal_state(self):
+        device = XRDevice(spec=get_device("XR1"))
+        device.consume("inference", 1000.0, 4.0)
+        assert device.thermal.temperature_c > device.thermal.ambient_c
+
+    def test_consume_with_rail_records_trace(self):
+        device = XRDevice.from_catalog("XR1", with_power_rail=True)
+        device.consume("encoding", 10.0, 1.0)
+        assert device.power_rail.segment_energy_mj("encoding") > 0.0
+
+    def test_consume_rejects_negative_power(self):
+        device = XRDevice(spec=get_device("XR1"))
+        with pytest.raises(ValueError):
+            device.consume("x", 10.0, -1.0)
+
+    def test_memory_access_latency_uses_spec_bandwidth(self):
+        device = XRDevice(spec=get_device("XR1"))
+        assert device.memory_access_latency_ms(44.0) == pytest.approx(1.0)
+
+    def test_reset_restores_initial_state(self):
+        device = XRDevice.from_catalog("XR1", with_power_rail=True)
+        device.consume("inference", 500.0, 3.0)
+        device.reset()
+        assert device.battery.state_of_charge == pytest.approx(1.0)
+        assert device.power_rail.samples == []
+
+    def test_describe_mentions_clocks(self):
+        assert "GHz" in XRDevice(spec=get_device("XR1")).describe()

@@ -1,0 +1,68 @@
+"""Unit tests for the runtime edge server model."""
+
+import pytest
+
+from repro.devices.edge_server import EdgeServer
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_from_catalog_default_is_agx(self):
+        server = EdgeServer.from_catalog()
+        assert server.spec.name == "EDGE-AGX"
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EdgeServer.from_catalog("EDGE-TX2", utilization=1.0)
+
+
+class TestComputeAllocation:
+    def test_allocated_compute_uses_scale_factor(self):
+        server = EdgeServer.from_catalog("EDGE-AGX")
+        assert server.allocated_compute(2.0) == pytest.approx(2.0 * 11.76)
+
+    def test_background_utilization_reduces_allocation(self):
+        idle = EdgeServer.from_catalog("EDGE-AGX")
+        busy = EdgeServer.from_catalog("EDGE-AGX", utilization=0.5)
+        assert busy.allocated_compute(1.0) == pytest.approx(idle.allocated_compute(1.0) * 0.5)
+
+    def test_rejects_non_positive_client_compute(self):
+        with pytest.raises(ValueError):
+            EdgeServer.from_catalog().allocated_compute(0.0)
+
+    def test_memory_latency_uses_spec_bandwidth(self):
+        server = EdgeServer.from_catalog("EDGE-AGX")
+        assert server.memory_access_latency_ms(137.0) == pytest.approx(1.0)
+
+
+class TestTaskBookkeeping:
+    def test_assign_and_release(self):
+        server = EdgeServer.from_catalog()
+        server.assign_task("client-a", 0.4)
+        server.assign_task("client-b", 0.3)
+        assert server.committed_share == pytest.approx(0.7)
+        server.release_task("client-a")
+        assert server.committed_share == pytest.approx(0.3)
+
+    def test_overcommit_rejected(self):
+        server = EdgeServer.from_catalog()
+        server.assign_task("client-a", 0.8)
+        with pytest.raises(ConfigurationError, match="over-committed"):
+            server.assign_task("client-b", 0.4)
+
+    def test_release_unknown_client_is_noop(self):
+        EdgeServer.from_catalog().release_task("ghost")
+
+    def test_power_scales_between_idle_and_max(self):
+        server = EdgeServer.from_catalog("EDGE-AGX")
+        assert server.power_w(0.0) == pytest.approx(server.spec.idle_power_w)
+        assert server.power_w(1.0) == pytest.approx(server.spec.max_power_w)
+        assert server.spec.idle_power_w < server.power_w(0.5) < server.spec.max_power_w
+
+    def test_power_defaults_to_committed_share(self):
+        server = EdgeServer.from_catalog()
+        server.assign_task("client", 1.0)
+        assert server.power_w() == pytest.approx(server.spec.max_power_w)
+
+    def test_describe_mentions_hosted_cnn(self):
+        assert "YOLOv3" in EdgeServer.from_catalog().describe()

@@ -1,0 +1,32 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigurationError",
+        "ModelDomainError",
+        "UnknownDeviceError",
+        "UnknownCNNError",
+        "UnstableQueueError",
+        "SimulationError",
+        "RegressionError",
+    ):
+        error_type = getattr(exceptions, name)
+        assert issubclass(error_type, exceptions.ReproError)
+
+
+def test_unknown_device_is_a_configuration_error():
+    assert issubclass(exceptions.UnknownDeviceError, exceptions.ConfigurationError)
+
+
+def test_unstable_queue_is_a_model_domain_error():
+    assert issubclass(exceptions.UnstableQueueError, exceptions.ModelDomainError)
+
+
+def test_catching_base_class_catches_subclasses():
+    with pytest.raises(exceptions.ReproError):
+        raise exceptions.UnknownCNNError("nope")

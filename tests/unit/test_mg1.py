@@ -1,0 +1,47 @@
+"""Unit tests for the Pollaczek-Khinchine M/G/1 queue."""
+
+import pytest
+
+from repro.exceptions import UnstableQueueError
+from repro.queueing.mg1 import MG1Queue
+from repro.queueing.mm1 import MM1Queue
+
+
+class TestConstruction:
+    def test_unstable_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            MG1Queue(arrival_rate_per_ms=1.0, mean_service_time_ms=1.5)
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            MG1Queue(arrival_rate_per_ms=0.1, mean_service_time_ms=1.0, service_scv=-0.5)
+
+
+class TestSpecialCases:
+    def test_mm1_special_case_matches_mm1_queue(self):
+        mg1 = MG1Queue.mm1(arrival_rate_per_ms=0.4, service_rate_per_ms=1.0)
+        mm1 = MM1Queue(0.4, 1.0)
+        assert mg1.mean_time_in_system_ms == pytest.approx(mm1.mean_time_in_system_ms)
+        assert mg1.mean_number_in_system == pytest.approx(mm1.mean_number_in_system)
+
+    def test_md1_waits_half_of_mm1(self):
+        md1 = MG1Queue.md1(arrival_rate_per_ms=0.4, mean_service_time_ms=1.0)
+        mm1 = MG1Queue.mm1(arrival_rate_per_ms=0.4, service_rate_per_ms=1.0)
+        assert md1.mean_waiting_time_ms == pytest.approx(mm1.mean_waiting_time_ms / 2.0)
+
+    def test_utilization(self):
+        assert MG1Queue(0.25, 2.0).utilization == pytest.approx(0.5)
+
+    def test_littles_law_consistency(self):
+        queue = MG1Queue(0.3, 1.5, service_scv=0.7)
+        assert queue.mean_number_in_system == pytest.approx(
+            queue.arrival_rate_per_ms * queue.mean_time_in_system_ms
+        )
+        assert queue.mean_number_in_queue == pytest.approx(
+            queue.arrival_rate_per_ms * queue.mean_waiting_time_ms
+        )
+
+    def test_higher_variability_means_longer_waits(self):
+        low = MG1Queue(0.4, 1.0, service_scv=0.2)
+        high = MG1Queue(0.4, 1.0, service_scv=2.0)
+        assert high.mean_waiting_time_ms > low.mean_waiting_time_ms

@@ -1,0 +1,120 @@
+"""Unit tests for mobility (random walk) and handoff models (Eq. 17)."""
+
+import numpy as np
+import pytest
+
+from repro.config.network import HandoffConfig
+from repro.exceptions import ConfigurationError, ModelDomainError
+from repro.network.handoff import HandoffLatencyBreakdown, HandoffModel
+from repro.network.mobility import CoverageLayout, RandomWalkMobility
+
+
+class TestCoverageLayout:
+    def test_grid_size(self):
+        layout = CoverageLayout(rows=3, cols=4)
+        assert layout.n_zones == 12
+        assert len(layout.graph.nodes) == 12
+
+    def test_technology_assignment_cycles(self):
+        layout = CoverageLayout(technologies=("a", "b"))
+        technologies = {layout.technology_of(zone) for zone in layout.graph.nodes}
+        assert technologies == {"a", "b"}
+
+    def test_vertical_transition_detection(self):
+        layout = CoverageLayout(rows=1, cols=2, technologies=("a", "b"))
+        assert layout.is_vertical_transition((0, 0), (0, 1))
+
+    def test_single_technology_has_no_vertical_handoffs(self):
+        layout = CoverageLayout(technologies=("wifi",))
+        for zone in layout.graph.nodes:
+            assert layout.vertical_neighbor_fraction(zone) == 0.0
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoverageLayout(rows=0, cols=3)
+
+
+class TestRandomWalk:
+    def test_handoff_probability_in_unit_interval(self):
+        mobility = RandomWalkMobility(layout=CoverageLayout(), speed_m_per_s=1.4)
+        probability = mobility.handoff_probability(33.3)
+        assert 0.0 <= probability <= 1.0
+
+    def test_stationary_device_never_hands_off(self):
+        mobility = RandomWalkMobility(layout=CoverageLayout(), speed_m_per_s=0.0)
+        assert mobility.handoff_probability(1000.0) == 0.0
+
+    def test_faster_devices_hand_off_more(self):
+        layout = CoverageLayout()
+        slow = RandomWalkMobility(layout=layout, speed_m_per_s=1.0)
+        fast = RandomWalkMobility(layout=layout, speed_m_per_s=10.0)
+        assert fast.handoff_probability(100.0) > slow.handoff_probability(100.0)
+
+    def test_expected_handoffs_scale_with_duration(self):
+        mobility = RandomWalkMobility(layout=CoverageLayout(), speed_m_per_s=1.4)
+        assert mobility.expected_handoffs(2000.0, 20.0) == pytest.approx(
+            2.0 * mobility.expected_handoffs(1000.0, 20.0)
+        )
+
+    def test_walk_statistics_match_analytics(self, rng):
+        mobility = RandomWalkMobility(
+            layout=CoverageLayout(rows=9, cols=9), speed_m_per_s=8.0, pause_probability=0.0
+        )
+        trace = mobility.walk(n_steps=8000, step_interval_ms=100.0, rng=rng)
+        analytical = mobility.handoff_probability(100.0)
+        assert trace.empirical_handoff_probability == pytest.approx(analytical, rel=0.15)
+
+    def test_walk_records_occupancy(self, rng):
+        mobility = RandomWalkMobility(layout=CoverageLayout(), speed_m_per_s=1.4)
+        trace = mobility.walk(n_steps=100, step_interval_ms=33.0, rng=rng)
+        assert sum(trace.zone_occupancy().values()) == len(trace.zones)
+
+    def test_start_zone_must_exist(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkMobility(layout=CoverageLayout(rows=2, cols=2), start_zone=(9, 9))
+
+
+class TestHandoffLatency:
+    def test_vertical_slower_than_horizontal(self):
+        breakdown = HandoffLatencyBreakdown()
+        assert breakdown.vertical_latency_ms > breakdown.horizontal_latency_ms
+
+    def test_mean_latency_interpolates(self):
+        breakdown = HandoffLatencyBreakdown()
+        mixed = breakdown.mean_latency_ms(0.5)
+        assert breakdown.horizontal_latency_ms < mixed < breakdown.vertical_latency_ms
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ModelDomainError):
+            HandoffLatencyBreakdown().mean_latency_ms(1.5)
+
+
+class TestHandoffModel:
+    def test_disabled_handoff_costs_nothing(self):
+        model = HandoffModel(HandoffConfig(enabled=False))
+        assert model.mean_handoff_latency_ms(33.3) == 0.0
+        assert model.mean_handoff_energy_mj(33.3) == 0.0
+
+    def test_explicit_probability_used(self):
+        config = HandoffConfig(enabled=True, handoff_probability=0.1, handoff_latency_ms=200.0)
+        model = HandoffModel(config)
+        assert model.mean_handoff_latency_ms(33.3) == pytest.approx(20.0)
+
+    def test_eq17_is_product_of_latency_and_probability(self):
+        config = HandoffConfig(enabled=True)
+        model = HandoffModel(config)
+        period = 33.3
+        expected = model.single_handoff_latency_ms() * model.handoff_probability(period)
+        assert model.mean_handoff_latency_ms(period) == pytest.approx(expected)
+
+    def test_breakdown_overrides_config_latency(self):
+        config = HandoffConfig(enabled=True, handoff_latency_ms=1.0, vertical_fraction=1.0)
+        model = HandoffModel(config, breakdown=HandoffLatencyBreakdown())
+        assert model.single_handoff_latency_ms() == pytest.approx(
+            HandoffLatencyBreakdown().vertical_latency_ms
+        )
+
+    def test_energy_uses_configured_radio_power(self):
+        config = HandoffConfig(enabled=True, handoff_probability=0.5, handoff_latency_ms=100.0, power_w=2.0)
+        model = HandoffModel(config)
+        assert model.mean_handoff_energy_mj(33.3) == pytest.approx(2.0 * 50.0)

@@ -1,0 +1,81 @@
+"""Unit tests for path loss and small-scale fading models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelDomainError
+from repro.network.fading import RayleighFading, RicianFading
+from repro.network.pathloss import LogDistancePathLoss, free_space_path_loss_db
+
+
+class TestFreeSpacePathLoss:
+    def test_known_value_at_1km_2_4ghz(self):
+        # FSPL(1 km, 2.4 GHz) ~ 100.1 dB
+        assert free_space_path_loss_db(1000.0, 2.4) == pytest.approx(100.1, abs=0.3)
+
+    def test_loss_increases_with_distance(self):
+        assert free_space_path_loss_db(200.0, 5.0) > free_space_path_loss_db(100.0, 5.0)
+
+    def test_loss_increases_with_frequency(self):
+        assert free_space_path_loss_db(100.0, 5.0) > free_space_path_loss_db(100.0, 2.4)
+
+    def test_doubling_distance_adds_6db(self):
+        delta = free_space_path_loss_db(200.0, 5.0) - free_space_path_loss_db(100.0, 5.0)
+        assert delta == pytest.approx(6.02, abs=0.05)
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ModelDomainError):
+            free_space_path_loss_db(0.0, 5.0)
+
+
+class TestLogDistance:
+    def test_exponent_controls_slope(self):
+        gentle = LogDistancePathLoss(exponent=2.0)
+        steep = LogDistancePathLoss(exponent=4.0)
+        assert steep.path_loss_db(100.0) > gentle.path_loss_db(100.0)
+
+    def test_loss_at_reference_distance_is_free_space(self):
+        model = LogDistancePathLoss(exponent=3.0, reference_distance_m=1.0, carrier_frequency_ghz=5.0)
+        assert model.path_loss_db(1.0) == pytest.approx(free_space_path_loss_db(1.0, 5.0))
+
+    def test_shadowing_requires_rng(self, rng):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0)
+        deterministic = model.path_loss_db(50.0)
+        shadowed = [model.path_loss_db(50.0, rng=rng) for _ in range(200)]
+        assert np.std(shadowed) > 1.0
+        assert np.mean(shadowed) == pytest.approx(deterministic, abs=1.5)
+
+    def test_received_power(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        rx = model.received_power_dbm(tx_power_dbm=20.0, distance_m=30.0)
+        assert rx == pytest.approx(20.0 - model.path_loss_db(30.0))
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ModelDomainError):
+            LogDistancePathLoss(exponent=0.0)
+
+
+class TestFading:
+    def test_rayleigh_mean_power_gain(self, rng):
+        gains = RayleighFading(mean_power_gain=1.0).sample(rng, size=50_000)
+        assert np.mean(gains) == pytest.approx(1.0, rel=0.05)
+        assert np.all(gains >= 0.0)
+
+    def test_rician_mean_power_gain(self, rng):
+        gains = RicianFading(k_factor=6.0).sample(rng, size=50_000)
+        assert np.mean(gains) == pytest.approx(1.0, rel=0.05)
+
+    def test_rician_is_steadier_than_rayleigh(self, rng):
+        rayleigh = RayleighFading().sample(rng, size=50_000)
+        rician = RicianFading(k_factor=10.0).sample(rng, size=50_000)
+        assert np.var(rician) < np.var(rayleigh)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelDomainError):
+            RayleighFading(mean_power_gain=0.0)
+        with pytest.raises(ModelDomainError):
+            RicianFading(k_factor=-1.0)
+
+    def test_sample_size_must_be_positive(self, rng):
+        with pytest.raises(ValueError):
+            RayleighFading().sample(rng, size=0)

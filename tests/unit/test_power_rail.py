@@ -1,0 +1,81 @@
+"""Unit tests for the simulated (Monsoon-style) power rail."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.devices.power_rail import PowerRail
+
+
+class TestRecording:
+    def test_constant_power_energy(self):
+        rail = PowerRail()
+        energy = rail.record_segment("inference", duration_ms=100.0, power_w=2.0)
+        assert energy == pytest.approx(200.0, rel=1e-6)
+
+    def test_clock_advances_by_duration(self):
+        rail = PowerRail()
+        rail.record_segment("a", 10.0, 1.0)
+        rail.record_segment("b", 5.0, 1.0)
+        assert rail.clock_ms == pytest.approx(15.0)
+
+    def test_zero_duration_records_nothing(self):
+        rail = PowerRail()
+        assert rail.record_segment("noop", 0.0, 5.0) == 0.0
+        assert rail.samples == []
+
+    def test_sampling_rate_matches_monsoon(self):
+        rail = PowerRail()
+        rail.record_segment("a", 2.0, 1.0)
+        # 2 ms at 0.2 ms sampling -> at least 11 samples
+        assert len(rail.samples) >= 11
+        assert rail.sampling_period_ms == units.POWER_MONITOR_SAMPLING_PERIOD_MS
+
+    def test_time_varying_power(self):
+        rail = PowerRail()
+        energy = rail.record_segment("ramp", 10.0, lambda t: t / 10.0)
+        # integral of t/10 from 0..10 = 5 mJ
+        assert energy == pytest.approx(5.0, rel=1e-3)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PowerRail().record_segment("a", -1.0, 1.0)
+
+
+class TestAnalysis:
+    def test_total_energy_matches_sum_of_segments(self):
+        rail = PowerRail()
+        e1 = rail.record_segment("a", 50.0, 1.0)
+        e2 = rail.record_segment("b", 25.0, 2.0)
+        assert rail.total_energy_mj() == pytest.approx(e1 + e2, rel=0.02)
+
+    def test_segment_energy_isolated(self):
+        rail = PowerRail()
+        rail.record_segment("a", 50.0, 1.0)
+        rail.record_segment("b", 50.0, 3.0)
+        assert rail.segment_energy_mj("b") == pytest.approx(150.0, rel=1e-3)
+
+    def test_mean_and_peak_power(self):
+        rail = PowerRail()
+        rail.record_segment("a", 10.0, 1.0)
+        rail.record_segment("b", 10.0, 3.0)
+        assert 1.0 < rail.mean_power_w() < 3.0
+        assert rail.peak_power_w() == pytest.approx(3.0)
+
+    def test_empty_rail_reports_zero(self):
+        rail = PowerRail()
+        assert rail.total_energy_mj() == 0.0
+        assert rail.mean_power_w() == 0.0
+        assert rail.peak_power_w() == 0.0
+
+    def test_reset_clears_everything(self):
+        rail = PowerRail()
+        rail.record_segment("a", 10.0, 1.0)
+        rail.reset()
+        assert rail.samples == []
+        assert rail.clock_ms == 0.0
+
+    def test_noise_never_produces_negative_power(self):
+        rail = PowerRail(rng=np.random.default_rng(0), noise_std_w=2.0)
+        rail.record_segment("a", 10.0, 0.5)
+        assert all(sample.power_w >= 0.0 for sample in rail.samples)

@@ -1,0 +1,60 @@
+"""Unit tests for Monsoon-style power trace rendering."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.power_traces import PowerTrace, SegmentDraw, render_power_trace
+
+
+class TestRenderPowerTrace:
+    def test_total_energy_matches_sum(self):
+        draws = [
+            SegmentDraw(segment="frame_generation", latency_ms=50.0, power_w=1.0),
+            SegmentDraw(segment="local_inference", latency_ms=20.0, power_w=3.0),
+        ]
+        trace = render_power_trace(draws)
+        assert trace.total_energy_mj == pytest.approx(50.0 + 60.0, rel=0.02)
+
+    def test_segment_energy_attribution(self):
+        draws = [
+            SegmentDraw(segment="a", latency_ms=10.0, power_w=2.0),
+            SegmentDraw(segment="b", latency_ms=10.0, power_w=4.0),
+        ]
+        trace = render_power_trace(draws)
+        assert trace.segment_energy_mj["a"] == pytest.approx(20.0, rel=1e-3)
+        assert trace.segment_energy_mj["b"] == pytest.approx(40.0, rel=1e-3)
+
+    def test_base_power_added_everywhere(self):
+        draws = [SegmentDraw(segment="a", latency_ms=100.0, power_w=1.0)]
+        with_base = render_power_trace(draws, base_power_w=0.5)
+        without_base = render_power_trace(draws)
+        assert with_base.total_energy_mj == pytest.approx(
+            without_base.total_energy_mj + 50.0, rel=0.02
+        )
+
+    def test_duration_is_sum_of_segments(self):
+        draws = [
+            SegmentDraw(segment="a", latency_ms=30.0, power_w=1.0),
+            SegmentDraw(segment="b", latency_ms=70.0, power_w=1.0),
+        ]
+        trace = render_power_trace(draws)
+        assert trace.duration_ms == pytest.approx(100.0, rel=0.01)
+
+    def test_mean_power_between_segment_powers(self):
+        draws = [
+            SegmentDraw(segment="a", latency_ms=50.0, power_w=1.0),
+            SegmentDraw(segment="b", latency_ms=50.0, power_w=3.0),
+        ]
+        trace = render_power_trace(draws)
+        assert 1.0 < trace.mean_power_w < 3.0
+
+    def test_noise_does_not_bias_energy_much(self, rng):
+        draws = [SegmentDraw(segment="a", latency_ms=200.0, power_w=2.0)]
+        noisy = render_power_trace(draws, noise_std_w=0.2, rng=rng)
+        assert noisy.total_energy_mj == pytest.approx(400.0, rel=0.05)
+
+    def test_empty_draws_give_empty_trace(self):
+        trace = render_power_trace([])
+        assert isinstance(trace, PowerTrace)
+        assert trace.total_energy_mj == 0.0
+        assert trace.duration_ms == 0.0

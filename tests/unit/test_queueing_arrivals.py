@@ -1,0 +1,73 @@
+"""Unit tests for arrival/service process generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.queueing.arrivals import (
+    DeterministicProcess,
+    PoissonProcess,
+    merge_arrival_times,
+)
+
+
+class TestPoissonProcess:
+    def test_mean_interarrival(self):
+        assert PoissonProcess(0.2).mean_interarrival_ms == pytest.approx(5.0)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(0.0)
+
+    def test_interarrival_sample_count(self, rng):
+        gaps = PoissonProcess(0.1).sample_interarrival_times(100, rng)
+        assert len(gaps) == 100
+        assert np.all(gaps > 0.0)
+
+    def test_sampled_rate_close_to_nominal(self, rng):
+        process = PoissonProcess(0.5)
+        times = process.sample_arrival_times(20_000.0, rng)
+        empirical_rate = len(times) / 20_000.0
+        assert empirical_rate == pytest.approx(0.5, rel=0.05)
+
+    def test_arrival_times_sorted_and_within_horizon(self, rng):
+        times = PoissonProcess(0.3).sample_arrival_times(1000.0, rng)
+        assert np.all(np.diff(times) >= 0.0)
+        assert times[-1] <= 1000.0
+
+    def test_zero_horizon_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.3).sample_arrival_times(0.0, rng)
+
+
+class TestDeterministicProcess:
+    def test_rate_is_reciprocal_of_period(self):
+        assert DeterministicProcess(period_ms=4.0).rate_per_ms == pytest.approx(0.25)
+
+    def test_events_are_periodic(self):
+        times = DeterministicProcess(period_ms=10.0).sample_arrival_times(35.0)
+        assert list(times) == pytest.approx([10.0, 20.0, 30.0])
+
+    def test_offset_shifts_first_event(self):
+        times = DeterministicProcess(period_ms=10.0, offset_ms=3.0).sample_arrival_times(25.0)
+        assert times[0] == pytest.approx(3.0)
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicProcess(period_ms=0.0)
+
+
+class TestMerge:
+    def test_merge_is_sorted(self, rng):
+        a = PoissonProcess(0.2).sample_arrival_times(500.0, rng)
+        b = DeterministicProcess(period_ms=7.0).sample_arrival_times(500.0)
+        merged = merge_arrival_times([a, b])
+        assert len(merged) == len(a) + len(b)
+        assert np.all(np.diff(merged) >= 0.0)
+
+    def test_merge_of_empty_streams(self):
+        assert len(merge_arrival_times([np.array([]), np.array([])])) == 0
+
+    def test_merge_ignores_empty_members(self):
+        merged = merge_arrival_times([np.array([]), np.array([1.0, 2.0])])
+        assert list(merged) == [1.0, 2.0]

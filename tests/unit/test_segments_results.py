@@ -1,0 +1,138 @@
+"""Unit tests for the segment taxonomy and result containers."""
+
+import pytest
+
+from repro.config.application import ExecutionMode
+from repro.core.results import EnergyBreakdown, LatencyBreakdown
+from repro.core.segments import (
+    COMMON_SEGMENTS,
+    COMPUTE_SEGMENTS,
+    LOCAL_ONLY_SEGMENTS,
+    RADIO_SEGMENTS,
+    REMOTE_ONLY_SEGMENTS,
+    Segment,
+    segments_for_mode,
+)
+
+
+class TestSegments:
+    def test_eleven_segments(self):
+        assert len(list(Segment)) == 11
+
+    def test_local_and_remote_sets_disjoint(self):
+        assert not LOCAL_ONLY_SEGMENTS & REMOTE_ONLY_SEGMENTS
+
+    def test_common_segments_in_every_mode(self):
+        local = segments_for_mode(local_inference=True, include_cooperation=False)
+        remote = segments_for_mode(local_inference=False, include_cooperation=False)
+        assert COMMON_SEGMENTS <= local
+        assert COMMON_SEGMENTS <= remote
+
+    def test_local_mode_excludes_encoding(self):
+        local = segments_for_mode(local_inference=True, include_cooperation=False)
+        assert Segment.ENCODING not in local
+        assert Segment.LOCAL_INFERENCE in local
+
+    def test_remote_mode_excludes_local_inference(self):
+        remote = segments_for_mode(local_inference=False, include_cooperation=False)
+        assert Segment.LOCAL_INFERENCE not in remote
+        assert {Segment.ENCODING, Segment.TRANSMISSION} <= remote
+
+    def test_cooperation_optional(self):
+        with_coop = segments_for_mode(local_inference=True, include_cooperation=True)
+        without = segments_for_mode(local_inference=True, include_cooperation=False)
+        assert Segment.COOPERATION in with_coop
+        assert Segment.COOPERATION not in without
+
+    def test_radio_and_compute_sets_disjoint(self):
+        assert not RADIO_SEGMENTS & COMPUTE_SEGMENTS
+
+    def test_segment_string_value(self):
+        assert str(Segment.FRAME_GENERATION) == "frame_generation"
+
+
+class TestLatencyBreakdown:
+    def _breakdown(self):
+        per_segment = {
+            Segment.FRAME_GENERATION: 100.0,
+            Segment.RENDERING: 50.0,
+            Segment.COOPERATION: 30.0,
+        }
+        return LatencyBreakdown(
+            per_segment_ms=per_segment,
+            included_segments=frozenset({Segment.FRAME_GENERATION, Segment.RENDERING}),
+            mode=ExecutionMode.LOCAL,
+            client_compute=3.0,
+        )
+
+    def test_total_only_counts_included(self):
+        assert self._breakdown().total_ms == pytest.approx(150.0)
+
+    def test_parallel_segments_still_reported(self):
+        breakdown = self._breakdown()
+        assert breakdown.segment_ms(Segment.COOPERATION) == pytest.approx(30.0)
+
+    def test_missing_segment_reports_zero(self):
+        assert self._breakdown().segment_ms(Segment.ENCODING) == 0.0
+
+    def test_computation_plus_communication_is_total(self):
+        breakdown = self._breakdown()
+        assert breakdown.computation_ms + breakdown.communication_ms == pytest.approx(
+            breakdown.total_ms
+        )
+
+    def test_as_dict_includes_total(self):
+        data = self._breakdown().as_dict()
+        assert data["total"] == pytest.approx(150.0)
+        assert data["frame_generation"] == pytest.approx(100.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown(
+                per_segment_ms={Segment.RENDERING: -1.0},
+                included_segments=frozenset({Segment.RENDERING}),
+                mode=ExecutionMode.LOCAL,
+                client_compute=1.0,
+            )
+
+    def test_summary_contains_rows(self):
+        text = self._breakdown().summary()
+        assert "frame_generation" in text
+        assert "TOTAL" in text
+
+
+class TestEnergyBreakdown:
+    def _breakdown(self):
+        per_segment = {Segment.FRAME_GENERATION: 200.0, Segment.RENDERING: 100.0}
+        return EnergyBreakdown(
+            per_segment_mj=per_segment,
+            included_segments=frozenset(per_segment),
+            thermal_mj=18.0,
+            base_mj=50.0,
+            mode=ExecutionMode.LOCAL,
+            mean_power_w=2.0,
+        )
+
+    def test_total_includes_thermal_and_base(self):
+        breakdown = self._breakdown()
+        assert breakdown.total_mj == pytest.approx(200.0 + 100.0 + 18.0 + 50.0)
+        assert breakdown.segment_total_mj == pytest.approx(300.0)
+
+    def test_as_dict_has_thermal_and_base(self):
+        data = self._breakdown().as_dict()
+        assert data["thermal"] == pytest.approx(18.0)
+        assert data["base"] == pytest.approx(50.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown(
+                per_segment_mj={Segment.RENDERING: -5.0},
+                included_segments=frozenset({Segment.RENDERING}),
+                thermal_mj=0.0,
+                base_mj=0.0,
+                mode=ExecutionMode.LOCAL,
+                mean_power_w=1.0,
+            )
+
+    def test_summary_mentions_base_energy(self):
+        assert "E_base" in self._breakdown().summary()

@@ -1,0 +1,138 @@
+"""Unit tests for external sensors, request/generation alignment, and the input buffer."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.config.network import NetworkConfig, SensorConfig
+from repro.exceptions import UnstableQueueError
+from repro.queueing.mm1 import MM1Queue
+from repro.sensors.buffer import BufferDelays, InputBuffer
+from repro.sensors.generators import generation_times_for_requests
+from repro.sensors.sensor import ExternalSensor
+
+
+class TestExternalSensor:
+    def test_update_latency_is_eq6(self):
+        sensor = ExternalSensor(SensorConfig(name="s", generation_frequency_hz=100.0, distance_m=30.0))
+        expected = 10.0 + units.propagation_delay_ms(30.0)
+        assert sensor.update_latency_ms() == pytest.approx(expected)
+
+    def test_total_latency_scales_with_updates(self):
+        sensor = ExternalSensor(SensorConfig(name="s", generation_frequency_hz=50.0))
+        assert sensor.total_latency_ms(3) == pytest.approx(3.0 * sensor.update_latency_ms())
+
+    def test_total_latency_rejects_negative_updates(self):
+        sensor = ExternalSensor(SensorConfig(name="s", generation_frequency_hz=50.0))
+        with pytest.raises(ValueError):
+            sensor.total_latency_ms(-1)
+
+    def test_generation_times_are_periodic(self):
+        sensor = ExternalSensor(SensorConfig(name="s", generation_frequency_hz=100.0))
+        times = sensor.generation_times_ms(45.0)
+        assert list(times) == pytest.approx([10.0, 20.0, 30.0, 40.0])
+
+    def test_arrival_times_shift_by_propagation(self):
+        config = SensorConfig(name="s", generation_frequency_hz=100.0, distance_m=3000.0)
+        sensor = ExternalSensor(config)
+        arrivals = sensor.arrival_times_ms(50.0)
+        generations = sensor.generation_times_ms(50.0)
+        assert np.allclose(arrivals - generations, sensor.propagation_delay_ms)
+
+    def test_poisson_arrivals_have_roughly_right_rate(self, rng):
+        config = SensorConfig(name="s", generation_frequency_hz=200.0)
+        sensor = ExternalSensor(config)
+        arrivals = sensor.arrival_times_ms(100_000.0, rng=rng, poisson=True)
+        assert len(arrivals) / 100.0 == pytest.approx(200.0, rel=0.1)
+
+    def test_distance_override(self):
+        sensor = ExternalSensor(SensorConfig(name="s", generation_frequency_hz=100.0, distance_m=10.0))
+        near = sensor.update_latency_ms(distance_m=1.0)
+        far = sensor.update_latency_ms(distance_m=10_000.0)
+        assert far > near
+
+
+class TestUpdateSchedule:
+    def test_fast_sensor_serves_every_request(self):
+        schedule = generation_times_for_requests(
+            request_times_ms=[5.0, 10.0, 15.0],
+            sensor_generation_times_ms=[5.0, 10.0, 15.0, 20.0],
+        )
+        assert list(schedule.generation_times_ms) == pytest.approx([5.0, 10.0, 15.0])
+        assert np.all(schedule.staleness_ms == 0.0)
+
+    def test_slow_sensor_reuses_samples(self):
+        schedule = generation_times_for_requests(
+            request_times_ms=[5.0, 10.0, 15.0, 20.0],
+            sensor_generation_times_ms=[10.0, 20.0],
+        )
+        # Requests at 10 and 15 are served by the sample generated at 10.
+        assert list(schedule.generation_times_ms) == pytest.approx([10.0, 10.0, 10.0, 20.0])
+        assert max(schedule.requests_per_sample()) >= 2
+
+    def test_early_request_waits_for_first_sample(self):
+        schedule = generation_times_for_requests([2.0], [10.0])
+        assert schedule.generation_times_ms[0] == pytest.approx(10.0)
+        assert schedule.served_by_sample[0] == -1
+        assert schedule.staleness_ms[0] < 0.0
+
+    def test_requires_at_least_one_generation(self):
+        with pytest.raises(ValueError):
+            generation_times_for_requests([1.0], [])
+
+    def test_unsorted_requests_rejected(self):
+        with pytest.raises(ValueError):
+            generation_times_for_requests([5.0, 1.0], [1.0])
+
+
+class TestInputBuffer:
+    def test_stream_delay_matches_mm1(self):
+        buffer = InputBuffer(service_rate_hz=600.0)
+        expected = MM1Queue.from_rates_hz(30.0, 600.0).mean_time_in_system_ms
+        assert buffer.stream_delay_ms(30.0) == pytest.approx(expected)
+
+    def test_analytical_delays_sum(self, app, network):
+        buffer = InputBuffer(app.buffer_service_rate_hz)
+        delays = buffer.analytical_delays(app, network)
+        assert delays.total_ms == pytest.approx(
+            delays.frame_ms + delays.volumetric_ms + delays.external_ms
+        )
+        assert delays.external_ms > 0.0
+
+    def test_no_sensors_means_no_external_delay(self, app):
+        buffer = InputBuffer(app.buffer_service_rate_hz)
+        delays = buffer.analytical_delays(app, NetworkConfig(sensors=()))
+        assert delays.external_ms == 0.0
+
+    def test_unstable_buffer_rejected(self):
+        buffer = InputBuffer(service_rate_hz=100.0)
+        with pytest.raises(UnstableQueueError):
+            buffer.stream_delay_ms(200.0)
+
+    def test_zero_service_rate_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            InputBuffer(service_rate_hz=0.0)
+
+    def test_stability_check(self):
+        buffer = InputBuffer(service_rate_hz=500.0)
+        assert buffer.is_stable([100.0, 200.0])
+        assert not buffer.is_stable([300.0, 300.0])
+
+    def test_simulated_delays_capture_cross_stream_interference(self, app, network, rng):
+        buffer = InputBuffer(app.buffer_service_rate_hz)
+        analytical = buffer.analytical_delays(app, network)
+        simulated = buffer.simulate_delays(app, network, horizon_ms=200_000.0, rng=rng)
+        # The analytical model treats each stream as its own M/M/1 queue, so the
+        # simulated shared buffer (where streams interfere) is never faster.
+        assert simulated.total_ms >= analytical.total_ms * 0.9
+        # Every packet of the shared FIFO buffer sees an M/M/1 system loaded with
+        # the aggregate arrival rate; the per-frame total is three such sojourns.
+        total_rate_hz = 2.0 * app.frame_rate_fps + network.total_sensor_arrival_rate_hz
+        shared = MM1Queue.from_rates_hz(total_rate_hz, app.buffer_service_rate_hz)
+        assert simulated.total_ms == pytest.approx(3.0 * shared.mean_time_in_system_ms, rel=0.2)
+
+    def test_aoi_service_time_matches_eq22(self, network):
+        buffer = InputBuffer(service_rate_hz=2000.0)
+        arrival = network.total_sensor_arrival_rate_hz
+        expected = 1.0 / (2.0 - arrival / 1e3)
+        assert buffer.aoi_service_time_ms(arrival) == pytest.approx(expected)

@@ -1,0 +1,76 @@
+"""Unit tests for the session-level analyzer."""
+
+import pytest
+
+from repro.core.framework import XRPerformanceModel
+from repro.core.session import SessionAnalyzer
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def quest_model():
+    return XRPerformanceModel(device="XR6", edge="EDGE-AGX")
+
+
+class TestAnalyticalSessions:
+    def test_report_fields_consistent(self, quest_model):
+        report = SessionAnalyzer(quest_model).analyze_session(n_frames=50)
+        assert report.n_frames == 50
+        assert report.p99_latency_ms >= report.p95_latency_ms >= report.mean_latency_ms
+        assert report.achievable_fps == pytest.approx(1e3 / report.mean_latency_ms)
+        assert report.session_energy_j == pytest.approx(
+            report.mean_energy_mj * 50 / 1e3, rel=1e-6
+        )
+
+    def test_analytical_session_has_no_latency_spread(self, quest_model):
+        report = SessionAnalyzer(quest_model).analyze_session(n_frames=20)
+        assert report.p99_latency_ms == pytest.approx(report.mean_latency_ms)
+
+    def test_battery_drains_with_more_frames(self, quest_model):
+        short = SessionAnalyzer(quest_model).analyze_session(n_frames=10)
+        long = SessionAnalyzer(quest_model).analyze_session(n_frames=500)
+        assert long.battery_drain_fraction > short.battery_drain_fraction
+
+    def test_tethered_device_has_infinite_battery_life(self):
+        model = XRPerformanceModel(device="XR7", edge="EDGE-AGX")
+        report = SessionAnalyzer(model).analyze_session(n_frames=10)
+        assert report.battery_life_s == float("inf")
+        assert "tethered" in report.summary()
+
+    def test_invalid_frame_count_rejected(self, quest_model):
+        with pytest.raises(ConfigurationError):
+            SessionAnalyzer(quest_model).analyze_session(n_frames=0)
+
+    def test_summary_mentions_fps_and_battery(self, quest_model):
+        text = SessionAnalyzer(quest_model).analyze_session(n_frames=5).summary()
+        assert "frame rate" in text
+        assert "battery" in text
+
+
+class TestSimulatedSessions:
+    def test_simulated_session_has_latency_tails(self, quest_model):
+        report = SessionAnalyzer(quest_model, use_simulation=True, seed=2).analyze_session(
+            n_frames=200
+        )
+        assert report.p99_latency_ms > report.mean_latency_ms
+
+    def test_simulated_mean_close_to_calibrated_analytical_mean(
+        self, session_calibrated_coefficients
+    ):
+        # With testbed-calibrated coefficients the analytical session mean and
+        # the simulated session mean agree (paper constants would not, because
+        # they describe the authors' physical devices, not the simulated ones).
+        model = XRPerformanceModel(
+            device="XR6", edge="EDGE-AGX", coefficients=session_calibrated_coefficients
+        )
+        analytical = SessionAnalyzer(model).analyze_session(n_frames=50)
+        simulated = SessionAnalyzer(model, use_simulation=True, seed=3).analyze_session(
+            n_frames=200
+        )
+        assert simulated.mean_latency_ms == pytest.approx(
+            analytical.mean_latency_ms, rel=0.15
+        )
+
+    def test_temperature_rises_during_session(self, quest_model):
+        report = SessionAnalyzer(quest_model, use_simulation=True).analyze_session(n_frames=100)
+        assert report.final_temperature_c > 24.0
