@@ -1,0 +1,94 @@
+"""Fleet capacity study: many XR users sharing one cell and one edge GPU.
+
+Scales the single-user analytical model to a multi-tenant deployment:
+analyses a 64-user fleet under greedy SLO-guarding admission control,
+compares admission policies, and bisects for the SLO-feasible capacity of
+each device/edge combination — the question the single-user paper cannot
+answer.
+
+Run with ``python examples/fleet_capacity.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.fleet import (
+    EnergyAwareAdmission,
+    FleetAnalyzer,
+    GreedySLOAdmission,
+    RoundRobinAdmission,
+    homogeneous,
+    mixed_devices,
+    plan_capacity,
+)
+
+#: p95 motion-to-photon latency budget used throughout the example.
+SLO_MS = 800.0
+
+
+def main() -> None:
+    quick = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+    n_users = 8 if quick else 64
+
+    print("=" * 72)
+    print("Multi-user fleet analysis and edge capacity planning")
+    print("=" * 72)
+
+    # A homogeneous fleet under greedy SLO-guarding admission: the edge GPU
+    # saturates after a couple of 30 fps tenants, the rest fall back to
+    # local inference.
+    fleet = homogeneous(n_users, device="XR1")
+    report = FleetAnalyzer(
+        fleet, edge="EDGE-AGX", policy=GreedySLOAdmission(slo_ms=SLO_MS), slo_ms=SLO_MS
+    ).analyze()
+    print(report.summary())
+    print()
+
+    # Admission policies trade latency against energy differently.
+    print("-" * 72)
+    print(f"Policy comparison ({n_users} users, p95 / fleet energy):")
+    policies = (
+        ("round-robin", RoundRobinAdmission()),
+        ("greedy SLO", GreedySLOAdmission(slo_ms=SLO_MS)),
+        ("energy-aware", EnergyAwareAdmission()),
+    )
+    for name, policy in policies:
+        result = FleetAnalyzer(fleet, policy=policy, slo_ms=SLO_MS).analyze()
+        p95 = (
+            f"{result.p95_latency_ms:8.1f} ms"
+            if result.p95_latency_ms != float("inf")
+            else "saturated"
+        )
+        print(f"  {name:<12s}: {p95}, {result.total_energy_mj:9.1f} mJ")
+    print()
+
+    # Mixed-device fleets: slower devices shift the percentiles.
+    mixed = mixed_devices(n_users, devices=("XR1", "XR3", "XR6"))
+    mixed_report = FleetAnalyzer(
+        mixed, policy=GreedySLOAdmission(slo_ms=SLO_MS), slo_ms=SLO_MS
+    ).analyze()
+    print("-" * 72)
+    print(
+        f"Mixed fleet (XR1/XR3/XR6): p50 {mixed_report.p50_latency_ms:.1f} ms, "
+        f"p95 {mixed_report.p95_latency_ms:.1f} ms"
+    )
+    print()
+
+    # Capacity planning: the largest fleet whose p95 meets the SLO.
+    print("-" * 72)
+    print(f"SLO-feasible capacity ({SLO_MS:.0f} ms p95), one edge server:")
+    edges = ("EDGE-TX2", "EDGE-AGX")
+    for edge in edges:
+        plan = plan_capacity(device="XR1", edge=edge, slo_ms=SLO_MS)
+        print(f"  XR1 on {edge:<9s}: {plan.max_users:4d} users")
+    if not quick:
+        for n_edges in (2, 4):
+            plan = plan_capacity(
+                device="XR1", edge="EDGE-AGX", slo_ms=SLO_MS, n_edges=n_edges
+            )
+            print(f"  XR1 on {n_edges}x EDGE-AGX: {plan.max_users:4d} users")
+
+
+if __name__ == "__main__":
+    main()

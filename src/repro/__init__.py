@@ -16,7 +16,11 @@ Networks"* (Mallik, Xie, Han — ICDCS 2024).  The package provides:
   testbed and produces the ground truth the models are validated against
   (:mod:`repro.simulation`),
 * an evaluation harness that regenerates every table and figure of the
-  paper's evaluation section (:mod:`repro.evaluation`).
+  paper's evaluation section (:mod:`repro.evaluation`),
+* a fleet layer that scales the per-user models to ``N`` users sharing one
+  Wi-Fi channel and a pool of edge GPUs — population generators, channel
+  contention, multi-tenant edge queueing, admission control, and
+  SLO-constrained capacity planning (:mod:`repro.fleet`).
 
 Quickstart::
 
@@ -60,12 +64,21 @@ from repro.core import (
 )
 from repro.devices import XRDevice, EdgeServer, get_device, get_edge_server
 from repro.cnn import CNNModel, get_cnn, list_cnns
+from repro.fleet import (
+    CapacityPlan,
+    FleetAnalyzer,
+    FleetPopulation,
+    FleetReport,
+    UserProfile,
+    plan_capacity,
+)
 
 __all__ = [
     "AoIModel",
     "AoIResult",
     "ApplicationConfig",
     "CNNModel",
+    "CapacityPlan",
     "CoefficientSet",
     "CooperationConfig",
     "DeviceSpec",
@@ -74,6 +87,9 @@ __all__ = [
     "EncoderConfig",
     "EnergyBreakdown",
     "ExecutionMode",
+    "FleetAnalyzer",
+    "FleetPopulation",
+    "FleetReport",
     "HandoffConfig",
     "InferenceConfig",
     "LatencyBreakdown",
@@ -85,6 +101,7 @@ __all__ = [
     "SessionAnalyzer",
     "SessionReport",
     "SweepConfig",
+    "UserProfile",
     "WorkloadConfig",
     "XRDevice",
     "XREnergyModel",
@@ -95,5 +112,6 @@ __all__ = [
     "get_device",
     "get_edge_server",
     "list_cnns",
+    "plan_capacity",
     "__version__",
 ]

@@ -7,6 +7,7 @@ Installed as ``python -m repro``.  Subcommands:
 * ``offload``  — rank local / remote / split inference placements,
 * ``aoi``      — AoI/RoI timelines for a set of sensor frequencies,
 * ``session``  — session-level analysis (tails, battery life, thermals),
+* ``fleet``    — multi-user fleet analysis and SLO capacity planning,
 * ``tables``   — print the Table I / Table II reproductions,
 * ``validate`` — quick model-vs-simulated-testbed validation (Fig. 4 style).
 
@@ -168,6 +169,64 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        EnergyAwareAdmission,
+        FleetAnalyzer,
+        GreedySLOAdmission,
+        RoundRobinAdmission,
+        homogeneous,
+        mixed_devices,
+        plan_capacity,
+    )
+
+    app = _build_app(args)
+    network = _build_network(args)
+    if args.mixed_devices:
+        population = mixed_devices(args.users, devices=tuple(args.mixed_devices), app=app)
+    else:
+        population = homogeneous(args.users, device=args.device, app=app)
+    if args.policy == "greedy":
+        policy = GreedySLOAdmission(slo_ms=args.slo_ms)
+    elif args.policy == "energy":
+        policy = EnergyAwareAdmission()
+    else:
+        policy = RoundRobinAdmission()
+    analyzer = FleetAnalyzer(
+        population,
+        edge=args.edge,
+        n_edges=args.edge_servers,
+        network=network,
+        policy=policy,
+        slo_ms=args.slo_ms,
+    )
+    report = analyzer.analyze()
+    print(
+        f"Fleet analysis — {args.users} users on {args.device}"
+        f"{' (mixed)' if args.mixed_devices else ''}, "
+        f"{args.edge_servers}x {args.edge}, policy: {args.policy}"
+    )
+    print(report.summary())
+    if not args.no_capacity:
+        plan = plan_capacity(
+            device=args.device,
+            edge=args.edge,
+            slo_ms=args.slo_ms,
+            app=app,
+            network=network,
+            n_edges=args.edge_servers,
+        )
+        print()
+        # The plan measures raw infrastructure capacity: a homogeneous
+        # fleet with everyone offloading, regardless of --policy or
+        # --mixed-devices above.
+        print(
+            f"[homogeneous {args.device} fleet, all users offloading] "
+            + plan.summary()
+        )
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.evaluation.tables import table_1, table_2
 
@@ -256,6 +315,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the deterministic analytical model instead of simulated frames",
     )
     session.set_defaults(handler=_cmd_session)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="multi-user fleet analysis and SLO capacity planning"
+    )
+    _add_device_arguments(fleet)
+    _add_operating_point_arguments(fleet)
+    fleet.set_defaults(mode="remote")  # offloading is the interesting fleet case
+    fleet.add_argument("--users", type=int, default=64, help="fleet size")
+    fleet.add_argument(
+        "--slo-ms",
+        type=float,
+        default=800.0,
+        help="p95 motion-to-photon latency budget per user",
+    )
+    fleet.add_argument(
+        "--policy",
+        default="greedy",
+        choices=("greedy", "round-robin", "energy"),
+        help="admission/placement policy",
+    )
+    fleet.add_argument("--edge-servers", type=int, default=1)
+    fleet.add_argument(
+        "--mixed-devices",
+        nargs="+",
+        metavar="DEVICE",
+        help="cycle users through these devices instead of --device",
+    )
+    fleet.add_argument(
+        "--no-capacity",
+        action="store_true",
+        help="skip the SLO capacity plan",
+    )
+    fleet.set_defaults(handler=_cmd_fleet)
 
     tables = subparsers.add_parser("tables", help="print the Table I / II reproductions")
     tables.set_defaults(handler=_cmd_tables)

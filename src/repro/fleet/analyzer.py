@@ -1,0 +1,290 @@
+"""The :class:`FleetAnalyzer` facade — multi-user fleet performance analysis.
+
+Scales the paper's single-user analytical framework to ``N`` users sharing
+one Wi-Fi channel and a pool of edge GPUs::
+
+    from repro.fleet import FleetAnalyzer, homogeneous
+
+    fleet = homogeneous(64, device="XR1")
+    analyzer = FleetAnalyzer(fleet, edge="EDGE-AGX", slo_ms=100.0)
+    print(analyzer.analyze().summary())
+
+Composition: one :class:`XRPerformanceModel` per *device model* (memoized,
+sharing a single :class:`CoefficientSet`), per-user network parameters
+adjusted by the :class:`ContentionModel`, per-tenant edge queueing delay
+from the :class:`EdgeScheduler`, and placements chosen by an
+:class:`AdmissionPolicy`.  All per-user evaluations are cached by
+``(device, app, network)``, so a homogeneous 10k-user fleet costs a handful
+of model evaluations rather than 10k.
+
+With a single user the analyzer degenerates exactly to the paper's model:
+contention leaves the channel untouched at ``N == 1`` and a sole edge tenant
+sees zero queueing, so the reported numbers equal
+``XRPerformanceModel.analyze()`` verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.device import EdgeServerSpec
+from repro.config.network import NetworkConfig
+from repro.core.coefficients import CoefficientSet
+from repro.core.framework import XRPerformanceModel
+from repro.core.results import PerformanceReport
+from repro.devices.catalog import get_edge_server
+from repro.exceptions import ConfigurationError
+from repro.fleet.admission import (
+    AdmissionPolicy,
+    PlacementDecision,
+    RoundRobinAdmission,
+    UserCandidate,
+)
+from repro.fleet.contention import ContentionModel
+from repro.fleet.edge_scheduler import EdgeScheduler
+from repro.fleet.population import FleetPopulation, UserProfile
+from repro.fleet.results import FleetReport, UserOutcome
+
+PopulationLike = Union[FleetPopulation, Sequence[UserProfile]]
+
+
+def _resolve_population(population: PopulationLike) -> FleetPopulation:
+    if isinstance(population, FleetPopulation):
+        return population
+    return FleetPopulation(users=tuple(population))
+
+
+def _resolve_edge(edge: Union[str, EdgeServerSpec]) -> EdgeServerSpec:
+    if isinstance(edge, EdgeServerSpec):
+        return edge
+    if isinstance(edge, str):
+        return get_edge_server(edge)
+    raise ConfigurationError(f"cannot interpret {edge!r} as an edge server")
+
+
+class FleetAnalyzer:
+    """Fleet-scale latency/energy/AoI analysis on shared infrastructure.
+
+    Args:
+        population: the fleet's users (a :class:`FleetPopulation` or any
+            sequence of :class:`UserProfile`).
+        edge: edge server model shared by all ``n_edges`` servers (catalog
+            name or spec), mirroring the paper's homogeneous-edge assumption
+            (Eq. 15).
+        n_edges: number of identical edge servers behind the cell.
+        network: single-user network configuration of the shared channel.
+        coefficients: regression coefficients shared by every per-device
+            model (defaults to the paper's published set).
+        policy: admission/placement policy (defaults to round-robin).
+        contention: shared-channel contention model (defaults to one wrapping
+            ``network``).
+        scheduler: edge GPU queueing model.
+        slo_ms: optional per-user motion-to-photon SLO recorded on reports.
+        complexity_mode: CNN-complexity mode forwarded to the per-device
+            models.
+        include_aoi: evaluate the AoI model per user (on by default).
+    """
+
+    def __init__(
+        self,
+        population: PopulationLike,
+        edge: Union[str, EdgeServerSpec] = "EDGE-AGX",
+        n_edges: int = 1,
+        network: Optional[NetworkConfig] = None,
+        coefficients: Optional[CoefficientSet] = None,
+        policy: Optional[AdmissionPolicy] = None,
+        contention: Optional[ContentionModel] = None,
+        scheduler: Optional[EdgeScheduler] = None,
+        slo_ms: Optional[float] = None,
+        complexity_mode: str = "paper",
+        include_aoi: bool = True,
+    ) -> None:
+        if n_edges < 1:
+            raise ConfigurationError(f"need at least one edge server, got {n_edges}")
+        self.population = _resolve_population(population)
+        self.edge = _resolve_edge(edge)
+        self.n_edges = n_edges
+        self.network = network if network is not None else NetworkConfig()
+        self.coefficients = coefficients if coefficients is not None else CoefficientSet.paper()
+        self.policy = policy if policy is not None else RoundRobinAdmission()
+        self.contention = (
+            contention
+            if contention is not None
+            else ContentionModel(network=self.network)
+        )
+        self.scheduler = scheduler if scheduler is not None else EdgeScheduler()
+        self.slo_ms = slo_ms
+        self.complexity_mode = complexity_mode
+        self.include_aoi = include_aoi
+        # Per-device model cache: every entry shares self.coefficients, so a
+        # mixed-device fleet builds at most one model per catalog entry.
+        self._models: Dict[str, XRPerformanceModel] = {}
+        # Per-(device, app, network) report cache: the per-user loop over a
+        # 10k-user fleet hits this cache for all but a handful of evaluations.
+        self._reports: Dict[
+            Tuple[str, ApplicationConfig, NetworkConfig], PerformanceReport
+        ] = {}
+        self._service_times: Dict[Tuple[str, ApplicationConfig], float] = {}
+
+    # -- memoized building blocks ------------------------------------------------
+
+    def model_for(self, device: str) -> XRPerformanceModel:
+        """The (memoized) single-user model for one device catalog entry."""
+        model = self._models.get(device)
+        if model is None:
+            model = XRPerformanceModel(
+                device=device,
+                edge=self.edge,
+                coefficients=self.coefficients,
+                complexity_mode=self.complexity_mode,
+            )
+            self._models[device] = model
+        return model
+
+    def _report(
+        self, device: str, app: ApplicationConfig, network: NetworkConfig
+    ) -> PerformanceReport:
+        key = (device, app, network)
+        report = self._reports.get(key)
+        if report is None:
+            report = self.model_for(device).analyze(
+                app, network, include_aoi=self.include_aoi
+            )
+            self._reports[key] = report
+        return report
+
+    def _service_time_ms(self, device: str, app: ApplicationConfig) -> float:
+        """Edge GPU busy time per frame for one user (memoized)."""
+        key = (device, app)
+        service = self._service_times.get(key)
+        if service is None:
+            service = self.model_for(device).latency_model.remote_inference_ms(app)
+            self._service_times[key] = service
+        return service
+
+    # -- pipeline stages -----------------------------------------------------------
+
+    def candidates(self) -> List[UserCandidate]:
+        """Per-user statistics for the admission policy.
+
+        Remote statistics are evaluated under the contention of *all*
+        offload-preferring users — an upper bound on the contention any
+        admitted subset will actually see — so SLO-guarding policies err
+        towards rejecting rather than admitting users into violation.
+        With a single user this bound coincides with the uncontended
+        channel, preserving the single-user equivalence.
+        """
+        n_wants = sum(1 for user in self.population if user.wants_offload)
+        remote_network = self.contention.network_for(max(n_wants, 1))
+        result: List[UserCandidate] = []
+        for user in self.population:
+            local_app = user.app.with_mode(ExecutionMode.LOCAL)
+            remote_app = (
+                user.app if user.wants_offload else user.app.with_mode(ExecutionMode.REMOTE)
+            )
+            local = self._report(user.device, local_app, self.network)
+            remote = self._report(user.device, remote_app, remote_network)
+            result.append(
+                UserCandidate(
+                    name=user.name,
+                    wants_offload=user.wants_offload,
+                    frame_rate_fps=user.frame_rate_fps,
+                    service_time_ms=self._service_time_ms(user.device, remote_app),
+                    local_latency_ms=local.total_latency_ms,
+                    remote_latency_ms=remote.total_latency_ms,
+                    local_energy_mj=local.total_energy_mj,
+                    remote_energy_mj=remote.total_energy_mj,
+                )
+            )
+        return result
+
+    def placements(self) -> List[PlacementDecision]:
+        """Admission/placement decisions for the whole fleet."""
+        return self.policy.assign(self.candidates(), self.n_edges)
+
+    # -- fleet analysis --------------------------------------------------------------
+
+    def analyze(self) -> FleetReport:
+        """Evaluate the whole fleet and aggregate into a :class:`FleetReport`."""
+        candidates = self.candidates()
+        decisions = self.policy.assign(candidates, self.n_edges)
+        by_name = {candidate.name: candidate for candidate in candidates}
+
+        offloaders = [decision for decision in decisions if decision.offload]
+        n_stations = len(offloaders)
+        contended = (
+            self.contention.network_for(n_stations) if n_stations else self.network
+        )
+
+        # Offered load per edge server.
+        edge_rates = [0.0] * self.n_edges
+        edge_busy = [0.0] * self.n_edges
+        for decision in offloaders:
+            candidate = by_name[decision.name]
+            edge_rates[decision.edge_index] += candidate.arrival_rate_per_ms
+            edge_busy[decision.edge_index] += (
+                candidate.arrival_rate_per_ms * candidate.service_time_ms
+            )
+
+        outcomes: List[UserOutcome] = []
+        for user, decision in zip(self.population, decisions):
+            candidate = by_name[user.name]
+            if decision.offload:
+                app = user.app if user.wants_offload else user.app.with_mode(
+                    ExecutionMode.REMOTE
+                )
+                network = contended
+                if edge_busy[decision.edge_index] >= 1.0:
+                    # The edge cannot sustain its aggregate offered load:
+                    # no tenant on it has a steady state, however small its
+                    # own contribution.
+                    wait_ms = math.inf
+                else:
+                    background = max(
+                        edge_rates[decision.edge_index] - candidate.arrival_rate_per_ms,
+                        0.0,
+                    )
+                    background_busy = max(
+                        edge_busy[decision.edge_index]
+                        - candidate.arrival_rate_per_ms * candidate.service_time_ms,
+                        0.0,
+                    )
+                    wait_ms = self.scheduler.tagged_waiting_time_ms(
+                        candidate.service_time_ms,
+                        background,
+                        background_busy / background if background > 0.0 else None,
+                    )
+            else:
+                app = user.app.with_mode(ExecutionMode.LOCAL)
+                network = self.network
+                wait_ms = 0.0
+            report = self._report(user.device, app, network)
+            # Waiting for a contended edge keeps the radio idle-listening;
+            # bill that time at the radio idle power (W * ms = mJ).
+            wait_energy_mj = (
+                network.radio_idle_power_w * wait_ms if wait_ms != float("inf") else 0.0
+            )
+            fresh_fraction = None
+            if report.aoi is not None and report.aoi.roi:
+                fresh_fraction = len(report.aoi.fresh_sensors()) / len(report.aoi.roi)
+            outcomes.append(
+                UserOutcome(
+                    user=user.name,
+                    device=user.device,
+                    mode=app.inference.mode.value,
+                    offloaded=decision.offload,
+                    edge_index=decision.edge_index,
+                    throughput_mbps=network.throughput_mbps,
+                    edge_wait_ms=wait_ms,
+                    latency_ms=report.total_latency_ms + wait_ms,
+                    energy_mj=report.total_energy_mj + wait_energy_mj,
+                    report=report,
+                    aoi_fresh_fraction=fresh_fraction,
+                )
+            )
+        return FleetReport.from_outcomes(
+            outcomes, edge_utilizations=edge_busy, slo_ms=self.slo_ms
+        )

@@ -1,0 +1,133 @@
+"""Edge capacity planning: how many users can one cell serve?
+
+The planner answers the deployment question the single-user paper cannot:
+the largest fleet whose p95 motion-to-photon latency still meets an SLO on
+a given device/edge/CNN combination.  Feasibility is monotone in the fleet
+size — contention only shrinks per-user throughput and edge queueing only
+grows with tenants — so the planner exponentially grows an upper bound and
+then bisects, evaluating ``O(log N)`` fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.config.application import ApplicationConfig
+from repro.config.device import EdgeServerSpec
+from repro.config.network import NetworkConfig
+from repro.core.coefficients import CoefficientSet
+from repro.exceptions import ConfigurationError
+from repro.fleet.admission import AdmissionPolicy, RoundRobinAdmission
+from repro.fleet.analyzer import FleetAnalyzer
+from repro.fleet.contention import ContentionModel
+from repro.fleet.edge_scheduler import EdgeScheduler
+from repro.fleet.population import homogeneous
+from repro.fleet.results import FleetReport
+from repro.fleet.search import bisect_capacity
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Result of an SLO-constrained capacity search.
+
+    Attributes:
+        slo_ms: the p95 motion-to-photon latency budget.
+        max_users: largest SLO-feasible fleet size (0 when even one user
+            misses the SLO).
+        p95_at_capacity_ms: fleet p95 latency at ``max_users`` (None when
+            infeasible).
+        search_ceiling: the upper bound the search was allowed to explore.
+        ceiling_reached: True when ``max_users`` hit the ceiling, i.e. the
+            true capacity may be larger.
+        evaluations: number of fleet analyses the search performed.
+    """
+
+    slo_ms: float
+    max_users: int
+    p95_at_capacity_ms: Optional[float]
+    search_ceiling: int
+    ceiling_reached: bool
+    evaluations: int
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the SLO admits at least one user."""
+        return self.max_users >= 1
+
+    def summary(self) -> str:
+        """One-paragraph text summary."""
+        if not self.feasible:
+            return (
+                f"Capacity plan: SLO of {self.slo_ms:.0f} ms p95 is infeasible "
+                f"even for a single user ({self.evaluations} fleets evaluated)."
+            )
+        ceiling_note = " (search ceiling reached)" if self.ceiling_reached else ""
+        return (
+            f"Capacity plan: up to {self.max_users} users{ceiling_note} meet the "
+            f"{self.slo_ms:.0f} ms p95 SLO "
+            f"(p95 at capacity: {self.p95_at_capacity_ms:.1f} ms, "
+            f"{self.evaluations} fleets evaluated)."
+        )
+
+
+def plan_capacity(
+    device: str = "XR1",
+    edge: Union[str, EdgeServerSpec] = "EDGE-AGX",
+    slo_ms: float = 100.0,
+    app: Optional[ApplicationConfig] = None,
+    network: Optional[NetworkConfig] = None,
+    n_edges: int = 1,
+    max_users: int = 4096,
+    coefficients: Optional[CoefficientSet] = None,
+    policy: Optional[AdmissionPolicy] = None,
+    contention: Optional[ContentionModel] = None,
+    scheduler: Optional[EdgeScheduler] = None,
+) -> CapacityPlan:
+    """Maximum SLO-feasible fleet size for one device/edge/CNN combination.
+
+    Builds homogeneous offloading fleets of growing size and reports the
+    largest one whose p95 motion-to-photon latency meets the SLO.  The
+    default round-robin policy offloads everyone, so the plan reflects the
+    infrastructure's raw capacity rather than an admission policy's gating.
+    """
+    if slo_ms <= 0.0:
+        raise ConfigurationError(f"SLO must be > 0 ms, got {slo_ms}")
+    shared_coefficients = (
+        coefficients if coefficients is not None else CoefficientSet.paper()
+    )
+    shared_policy = policy if policy is not None else RoundRobinAdmission()
+    reports: Dict[int, FleetReport] = {}
+
+    def report_for(n_users: int) -> FleetReport:
+        report = reports.get(n_users)
+        if report is None:
+            analyzer = FleetAnalyzer(
+                homogeneous(n_users, device=device, app=app),
+                edge=edge,
+                n_edges=n_edges,
+                network=network,
+                coefficients=shared_coefficients,
+                policy=shared_policy,
+                contention=contention,
+                scheduler=scheduler,
+                slo_ms=slo_ms,
+                include_aoi=False,
+            )
+            report = analyzer.analyze()
+            reports[n_users] = report
+        return report
+
+    def feasible(n_users: int) -> bool:
+        return report_for(n_users).p95_latency_ms <= slo_ms
+
+    capacity, ceiling_reached, evaluations = bisect_capacity(feasible, max_users)
+    p95 = report_for(capacity).p95_latency_ms if capacity >= 1 else None
+    return CapacityPlan(
+        slo_ms=slo_ms,
+        max_users=capacity,
+        p95_at_capacity_ms=p95,
+        search_ceiling=max_users,
+        ceiling_reached=ceiling_reached,
+        evaluations=evaluations,
+    )

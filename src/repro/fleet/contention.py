@@ -1,0 +1,99 @@
+"""Shared-channel contention model for multi-user Wi-Fi cells.
+
+The paper's transmission model (Eq. 16) takes the wireless throughput
+``r_w`` as a given per-device constant; with ``N`` stations on the same
+channel that constant has to shrink.  :class:`ContentionModel` wraps
+:class:`repro.network.wifi.WifiLink` and splits the channel among the active
+stations:
+
+* the *aggregate* deliverable throughput decays logarithmically with the
+  station count (CSMA/CA collision and backoff overhead grows with
+  contenders — the classic Bianchi DCF result is well approximated by a
+  ``1 / (1 + a ln N)`` efficiency curve),
+* each station receives an equal (fair, long-term) share of the aggregate.
+
+With a single station the model reduces exactly to the paper's single-user
+link — ``per_user_throughput_mbps(1) == WifiLink.throughput_mbps()`` — which
+is what lets the fleet analyzer reproduce the single-user model verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config.network import NetworkConfig
+from repro.exceptions import ModelDomainError
+from repro.fleet.search import bisect_capacity
+from repro.network.wifi import WifiLink
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Throughput degradation of one Wi-Fi channel shared by ``N`` stations.
+
+    Attributes:
+        network: the single-user network configuration describing the channel.
+        collision_overhead: strength ``a`` of the logarithmic aggregate-
+            efficiency decay ``1 / (1 + a ln N)``; 0 models an ideal
+            perfectly-scheduled channel.
+        mac_efficiency: PHY-to-transport efficiency forwarded to the
+            link-budget path of :class:`WifiLink`.
+    """
+
+    network: NetworkConfig
+    collision_overhead: float = 0.08
+    mac_efficiency: float = 0.65
+
+    def __post_init__(self) -> None:
+        if self.collision_overhead < 0.0:
+            raise ModelDomainError(
+                f"collision overhead must be >= 0, got {self.collision_overhead}"
+            )
+
+    def _check_stations(self, n_stations: int) -> None:
+        if n_stations < 1:
+            raise ModelDomainError(
+                f"contention needs at least one station, got {n_stations}"
+            )
+
+    def channel_efficiency(self, n_stations: int) -> float:
+        """Aggregate MAC efficiency with ``n_stations`` contenders (1 at N=1)."""
+        self._check_stations(n_stations)
+        return 1.0 / (1.0 + self.collision_overhead * math.log(n_stations))
+
+    def aggregate_throughput_mbps(self, n_stations: int) -> float:
+        """Total channel throughput delivered across all stations."""
+        self._check_stations(n_stations)
+        link = WifiLink(config=self.network, mac_efficiency=self.mac_efficiency)
+        return link.throughput_mbps() * self.channel_efficiency(n_stations)
+
+    def per_user_throughput_mbps(self, n_stations: int) -> float:
+        """Fair per-station throughput share; non-increasing in ``n_stations``."""
+        self._check_stations(n_stations)
+        return self.aggregate_throughput_mbps(n_stations) / n_stations
+
+    def network_for(self, n_stations: int) -> NetworkConfig:
+        """The per-user network configuration under ``n_stations`` contenders.
+
+        With one station this returns a configuration whose throughput equals
+        the single-user value, so downstream models see no difference.
+        """
+        self._check_stations(n_stations)
+        if n_stations == 1:
+            return self.network
+        return self.network.with_throughput(self.per_user_throughput_mbps(n_stations))
+
+    def saturation_stations(self, min_throughput_mbps: float) -> int:
+        """Largest station count whose per-user share stays above a floor."""
+        if min_throughput_mbps <= 0.0:
+            raise ModelDomainError(
+                f"throughput floor must be > 0, got {min_throughput_mbps}"
+            )
+        # The share is at most r_w / N, so N > r_w / floor is never feasible.
+        ceiling = max(int(self.per_user_throughput_mbps(1) / min_throughput_mbps) + 1, 1)
+        stations, _, _ = bisect_capacity(
+            lambda n: self.per_user_throughput_mbps(n) >= min_throughput_mbps,
+            max_users=ceiling,
+        )
+        return stations

@@ -1,0 +1,268 @@
+"""User-population generators for fleet-scale analyses.
+
+The paper analyses one XR device; a deployment serves many.  This module
+describes *who* is on the network: a :class:`FleetPopulation` is an ordered
+collection of :class:`UserProfile` entries (device + application
+configuration per user), and the generators below build the standard
+populations the fleet analyzer and capacity planner sweep over —
+homogeneous fleets, mixed-device fleets drawn from the Table I catalog,
+mixed-workload fleets, and Poisson session arrival/departure dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.devices.catalog import get_device
+from repro.exceptions import ConfigurationError
+
+
+def _default_app(mode: ExecutionMode) -> ApplicationConfig:
+    return ApplicationConfig.object_detection_default().with_mode(mode)
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One user of the fleet: a device running an application configuration.
+
+    Attributes:
+        name: unique user identifier within the population.
+        device: XR device catalog name (validated against Table I).
+        app: the user's application configuration; its inference mode is the
+            user's *preferred* placement, which admission control may
+            override.
+    """
+
+    name: str
+    device: str = "XR1"
+    app: ApplicationConfig = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("user name must not be empty")
+        get_device(self.device)  # raises UnknownDeviceError for bad names
+        if self.app is None:
+            object.__setattr__(self, "app", _default_app(ExecutionMode.REMOTE))
+
+    @property
+    def wants_offload(self) -> bool:
+        """Whether the profile's preferred placement uses the edge tier."""
+        return self.app.inference.mode is not ExecutionMode.LOCAL
+
+    @property
+    def frame_rate_fps(self) -> float:
+        """The user's frame capture rate."""
+        return self.app.frame_rate_fps
+
+
+@dataclass(frozen=True)
+class FleetPopulation:
+    """An ordered, immutable collection of fleet users.
+
+    Attributes:
+        users: the user profiles, in arrival order.
+    """
+
+    users: Tuple[UserProfile, ...]
+
+    def __post_init__(self) -> None:
+        names = [user.name for user in self.users]
+        if len(names) != len(set(names)):
+            raise ConfigurationError("user names must be unique within a population")
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self) -> Iterator[UserProfile]:
+        return iter(self.users)
+
+    @property
+    def n_users(self) -> int:
+        """Number of users in the population."""
+        return len(self.users)
+
+    @property
+    def device_counts(self) -> Dict[str, int]:
+        """Number of users per device model."""
+        counts: Dict[str, int] = {}
+        for user in self.users:
+            counts[user.device] = counts.get(user.device, 0) + 1
+        return counts
+
+    def subset(self, n: int) -> "FleetPopulation":
+        """The first ``n`` users as a new population (for capacity bisection)."""
+        if not 0 < n <= len(self.users):
+            raise ConfigurationError(
+                f"subset size must be in [1, {len(self.users)}], got {n}"
+            )
+        return FleetPopulation(users=self.users[:n])
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+def homogeneous(
+    n_users: int,
+    device: str = "XR1",
+    app: Optional[ApplicationConfig] = None,
+    mode: ExecutionMode = ExecutionMode.REMOTE,
+    name_prefix: str = "user",
+) -> FleetPopulation:
+    """``n_users`` identical users on one device model.
+
+    Args:
+        n_users: fleet size.
+        device: device catalog name shared by every user.
+        app: shared application configuration; defaults to the paper's
+            object-detection pipeline in the given ``mode``.
+        mode: inference placement used when ``app`` is not given.
+        name_prefix: users are named ``{prefix}-0001`` onwards.
+    """
+    if n_users <= 0:
+        raise ConfigurationError(f"fleet size must be > 0, got {n_users}")
+    shared_app = app if app is not None else _default_app(mode)
+    return FleetPopulation(
+        users=tuple(
+            UserProfile(name=f"{name_prefix}-{index:04d}", device=device, app=shared_app)
+            for index in range(n_users)
+        )
+    )
+
+
+def mixed_devices(
+    n_users: int,
+    devices: Sequence[str] = ("XR1", "XR2", "XR6"),
+    app: Optional[ApplicationConfig] = None,
+    mode: ExecutionMode = ExecutionMode.REMOTE,
+) -> FleetPopulation:
+    """``n_users`` users cycling round-robin through several device models."""
+    if n_users <= 0:
+        raise ConfigurationError(f"fleet size must be > 0, got {n_users}")
+    if not devices:
+        raise ConfigurationError("mixed_devices needs at least one device name")
+    shared_app = app if app is not None else _default_app(mode)
+    return FleetPopulation(
+        users=tuple(
+            UserProfile(
+                name=f"user-{index:04d}",
+                device=devices[index % len(devices)],
+                app=shared_app,
+            )
+            for index in range(n_users)
+        )
+    )
+
+
+def mixed_workloads(
+    n_users: int,
+    apps: Sequence[ApplicationConfig],
+    device: str = "XR1",
+) -> FleetPopulation:
+    """``n_users`` users on one device cycling through workload variants."""
+    if n_users <= 0:
+        raise ConfigurationError(f"fleet size must be > 0, got {n_users}")
+    if not apps:
+        raise ConfigurationError("mixed_workloads needs at least one application config")
+    return FleetPopulation(
+        users=tuple(
+            UserProfile(
+                name=f"user-{index:04d}", device=device, app=apps[index % len(apps)]
+            )
+            for index in range(n_users)
+        )
+    )
+
+
+@dataclass(frozen=True)
+class PoissonSessionModel:
+    """Poisson session arrival/departure dynamics (an M/M/inf session model).
+
+    Sessions arrive as a Poisson process and last an exponential time, so
+    the number of concurrently active users is a birth-death process whose
+    stationary distribution is Poisson with mean ``offered_load``.
+
+    Attributes:
+        arrival_rate_per_min: session arrival rate (sessions/minute).
+        mean_session_min: mean session duration (minutes).
+    """
+
+    arrival_rate_per_min: float
+    mean_session_min: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_min <= 0.0:
+            raise ConfigurationError(
+                f"session arrival rate must be > 0, got {self.arrival_rate_per_min}"
+            )
+        if self.mean_session_min <= 0.0:
+            raise ConfigurationError(
+                f"mean session duration must be > 0, got {self.mean_session_min}"
+            )
+
+    @property
+    def offered_load(self) -> float:
+        """Mean number of concurrently active sessions (Erlang load)."""
+        return self.arrival_rate_per_min * self.mean_session_min
+
+    def concurrency_trace(
+        self, horizon_min: float, seed: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Simulate the session process over a horizon.
+
+        Returns ``(times_min, active_counts)`` sampled at every session
+        arrival instant (where the concurrency peaks occur), starting from an
+        empty system at time 0.
+        """
+        if horizon_min <= 0.0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon_min}")
+        rng = np.random.default_rng(seed)
+        times = [0.0]
+        counts = [0]
+        departures: list = []
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(1.0 / self.arrival_rate_per_min))
+            if clock > horizon_min:
+                break
+            # Retire sessions that ended before this arrival.
+            departures = [d for d in departures if d > clock]
+            departures.append(clock + float(rng.exponential(self.mean_session_min)))
+            times.append(clock)
+            counts.append(len(departures))
+        return np.asarray(times), np.asarray(counts)
+
+    def peak_concurrency(self, horizon_min: float, seed: int = 0) -> int:
+        """Peak number of simultaneously active sessions over the horizon."""
+        _, counts = self.concurrency_trace(horizon_min, seed=seed)
+        return int(counts.max()) if counts.size else 0
+
+    def population(
+        self,
+        horizon_min: float,
+        seed: int = 0,
+        device: str = "XR1",
+        app: Optional[ApplicationConfig] = None,
+        mode: ExecutionMode = ExecutionMode.REMOTE,
+    ) -> FleetPopulation:
+        """A homogeneous population sized to the simulated peak concurrency.
+
+        Capacity planning against the peak of the session process is the
+        conservative reading of "how many users must this cell support".
+        """
+        peak = max(self.peak_concurrency(horizon_min, seed=seed), 1)
+        return homogeneous(peak, device=device, app=app, mode=mode)
+
+
+def with_mode(population: FleetPopulation, mode: ExecutionMode) -> FleetPopulation:
+    """A copy of the population with every user's preferred mode replaced."""
+    return FleetPopulation(
+        users=tuple(
+            replace(user, app=user.app.with_mode(mode)) for user in population
+        )
+    )

@@ -18,8 +18,12 @@ from repro.exceptions import UnstableQueueError
 class MG1Queue:
     """A stationary M/G/1 queue characterised by its service-time moments.
 
+    An idle queue (``lambda == 0``) is a legitimate boundary case — e.g. a
+    fleet with zero offloaders — and yields zero waiting time.
+
     Attributes:
-        arrival_rate_per_ms: Poisson arrival rate ``lambda`` (packets/ms).
+        arrival_rate_per_ms: Poisson arrival rate ``lambda`` (packets/ms),
+            >= 0.
         mean_service_time_ms: mean service time ``E[S]``.
         service_scv: squared coefficient of variation of the service time
             (``Var[S] / E[S]^2``): 1 recovers M/M/1, 0 gives M/D/1.
@@ -30,9 +34,9 @@ class MG1Queue:
     service_scv: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.arrival_rate_per_ms <= 0.0:
+        if self.arrival_rate_per_ms < 0.0:
             raise UnstableQueueError(
-                f"arrival rate must be > 0, got {self.arrival_rate_per_ms}"
+                f"arrival rate must be >= 0, got {self.arrival_rate_per_ms}"
             )
         if self.mean_service_time_ms <= 0.0:
             raise UnstableQueueError(

@@ -24,8 +24,13 @@ from repro.exceptions import UnstableQueueError
 class MM1Queue:
     """A stationary M/M/1 queue.
 
+    An idle queue (``lambda == 0``) is a legitimate boundary case — e.g. a
+    fleet with zero offloaders — and yields zero waiting time, an empty
+    queue, and a sojourn time equal to the service time.
+
     Attributes:
-        arrival_rate_per_ms: Poisson arrival rate ``lambda`` (packets/ms).
+        arrival_rate_per_ms: Poisson arrival rate ``lambda`` (packets/ms),
+            >= 0.
         service_rate_per_ms: exponential service rate ``mu`` (packets/ms).
     """
 
@@ -33,9 +38,9 @@ class MM1Queue:
     service_rate_per_ms: float
 
     def __post_init__(self) -> None:
-        if self.arrival_rate_per_ms <= 0.0:
+        if self.arrival_rate_per_ms < 0.0:
             raise UnstableQueueError(
-                f"arrival rate must be > 0, got {self.arrival_rate_per_ms}"
+                f"arrival rate must be >= 0, got {self.arrival_rate_per_ms}"
             )
         if self.service_rate_per_ms <= 0.0:
             raise UnstableQueueError(

@@ -1,0 +1,84 @@
+"""Property-based tests of the fleet layer (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.network import NetworkConfig
+from repro.core.framework import XRPerformanceModel
+from repro.fleet import ContentionModel, EdgeScheduler, FleetAnalyzer, homogeneous
+
+station_counts = st.integers(min_value=1, max_value=512)
+
+
+class TestContentionProperties:
+    @given(
+        n=station_counts,
+        overhead=st.floats(min_value=0.0, max_value=0.5),
+        throughput=st.floats(min_value=10.0, max_value=1000.0),
+    )
+    def test_per_user_rate_non_increasing_in_n(self, n, overhead, throughput):
+        model = ContentionModel(
+            network=NetworkConfig(throughput_mbps=throughput),
+            collision_overhead=overhead,
+        )
+        assert model.per_user_throughput_mbps(n) >= model.per_user_throughput_mbps(n + 1)
+
+    @given(n=station_counts, overhead=st.floats(min_value=0.0, max_value=0.5))
+    def test_per_user_rate_bounded_by_fair_share(self, n, overhead):
+        model = ContentionModel(
+            network=NetworkConfig(), collision_overhead=overhead
+        )
+        fair_share = model.network.throughput_mbps / n
+        assert 0.0 < model.per_user_throughput_mbps(n) <= fair_share
+
+
+class TestSchedulerProperties:
+    @given(
+        rho=st.floats(min_value=0.0, max_value=0.98),
+        service=st.floats(min_value=0.5, max_value=50.0),
+        scv=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_waiting_time_non_negative_and_monotone_in_load(self, rho, service, scv):
+        scheduler = EdgeScheduler(service_scv=scv)
+        wait = scheduler.waiting_time_ms(rho / service, service)
+        heavier = scheduler.waiting_time_ms(min(rho + 0.01, 0.999) / service, service)
+        assert wait >= 0.0
+        assert heavier >= wait
+
+
+class TestSingleUserEquivalenceProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        device=st.sampled_from(("XR1", "XR2", "XR3", "XR6")),
+        mode=st.sampled_from((ExecutionMode.LOCAL, ExecutionMode.REMOTE)),
+        cpu_freq=st.sampled_from((1.0, 2.0, 3.0)),
+        frame_side=st.sampled_from((300.0, 500.0, 700.0)),
+    )
+    def test_fleet_of_one_equals_single_user_model(
+        self, device, mode, cpu_freq, frame_side
+    ):
+        app = ApplicationConfig(
+            cpu_freq_ghz=cpu_freq, frame_side_px=frame_side
+        ).with_mode(mode)
+        single = XRPerformanceModel(device=device, edge="EDGE-AGX").analyze(app)
+        fleet = FleetAnalyzer(homogeneous(1, device=device, app=app)).analyze()
+        assert fleet.p50_latency_ms == single.total_latency_ms
+        assert fleet.outcomes[0].energy_mj == single.total_energy_mj
+
+
+class TestFleetMonotonicityProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=8))
+    def test_adding_a_user_never_improves_p95(self, n):
+        app = ApplicationConfig.object_detection_default().with_mode(
+            ExecutionMode.REMOTE
+        )
+
+        def p95(size):
+            return FleetAnalyzer(
+                homogeneous(size, device="XR1", app=app)
+            ).analyze().p95_latency_ms
+
+        assert p95(n) <= p95(n + 1) or p95(n + 1) == pytest.approx(p95(n))

@@ -49,6 +49,36 @@ class TestCommands:
         assert main(["session", "--device", "XR6", "--frames", "20", "--analytical"]) == 0
         assert "battery" in capsys.readouterr().out
 
+    def test_fleet_prints_report_and_capacity(self, capsys):
+        assert main(["fleet", "--device", "XR1", "--edge", "EDGE-AGX", "--users", "16"]) == 0
+        output = capsys.readouterr().out
+        for token in ("p50", "p95", "p99", "fleet total", "Capacity plan"):
+            assert token in output
+
+    def test_fleet_no_capacity_flag(self, capsys):
+        assert main(["fleet", "--users", "4", "--no-capacity"]) == 0
+        output = capsys.readouterr().out
+        assert "Capacity plan" not in output
+
+    def test_fleet_mixed_devices_and_policies(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--users",
+                    "6",
+                    "--mixed-devices",
+                    "XR1",
+                    "XR3",
+                    "--policy",
+                    "energy",
+                    "--no-capacity",
+                ]
+            )
+            == 0
+        )
+        assert "mixed" in capsys.readouterr().out
+
     def test_tables_prints_both_tables(self, capsys):
         assert main(["tables"]) == 0
         output = capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Unit tests for the admission-control and placement policies."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fleet.admission import (
+    EnergyAwareAdmission,
+    GreedySLOAdmission,
+    RoundRobinAdmission,
+    UserCandidate,
+)
+
+
+def make_candidate(
+    name: str,
+    wants_offload: bool = True,
+    service_time_ms: float = 10.0,
+    remote_latency_ms: float = 700.0,
+    local_energy_mj: float = 1000.0,
+    remote_energy_mj: float = 600.0,
+) -> UserCandidate:
+    return UserCandidate(
+        name=name,
+        wants_offload=wants_offload,
+        frame_rate_fps=30.0,
+        service_time_ms=service_time_ms,
+        local_latency_ms=300.0,
+        remote_latency_ms=remote_latency_ms,
+        local_energy_mj=local_energy_mj,
+        remote_energy_mj=remote_energy_mj,
+    )
+
+
+class TestRoundRobin:
+    def test_cycles_edges(self):
+        candidates = [make_candidate(f"u{i}") for i in range(5)]
+        decisions = RoundRobinAdmission().assign(candidates, n_edges=2)
+        assert [d.edge_index for d in decisions] == [0, 1, 0, 1, 0]
+        assert all(d.offload for d in decisions)
+
+    def test_respects_local_preference(self):
+        candidates = [
+            make_candidate("remote"),
+            make_candidate("local", wants_offload=False),
+        ]
+        decisions = RoundRobinAdmission().assign(candidates, n_edges=1)
+        assert decisions[0].offload
+        assert not decisions[1].offload
+        assert decisions[1].edge_index is None
+
+    def test_zero_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinAdmission().assign([make_candidate("u")], n_edges=0)
+
+
+class TestGreedySLO:
+    def test_admits_until_stability_cap(self):
+        # Each user offers rho = 0.03 * 10 = 0.3; the cap of 0.95 fits three.
+        candidates = [make_candidate(f"u{i}") for i in range(6)]
+        policy = GreedySLOAdmission(slo_ms=10_000.0)
+        decisions = policy.assign(candidates, n_edges=1)
+        assert [d.offload for d in decisions] == [True, True, True, False, False, False]
+
+    def test_rejects_when_predicted_latency_misses_slo(self):
+        candidates = [make_candidate(f"u{i}") for i in range(4)]
+        # Uncontended remote latency already eats most of the budget; the
+        # first tenant fits, queueing pushes the rest over.
+        policy = GreedySLOAdmission(slo_ms=705.0)
+        decisions = policy.assign(candidates, n_edges=1)
+        assert decisions[0].offload
+        assert not all(d.offload for d in decisions[1:])
+
+    def test_slo_too_tight_for_anyone(self):
+        decisions = GreedySLOAdmission(slo_ms=100.0).assign(
+            [make_candidate("u0")], n_edges=1
+        )
+        assert not decisions[0].offload
+
+    def test_spreads_across_edges(self):
+        candidates = [make_candidate(f"u{i}") for i in range(4)]
+        decisions = GreedySLOAdmission(slo_ms=10_000.0).assign(candidates, n_edges=2)
+        edges = [d.edge_index for d in decisions if d.offload]
+        assert set(edges) == {0, 1}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GreedySLOAdmission(slo_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            GreedySLOAdmission(slo_ms=100.0, utilization_cap=1.5)
+
+
+class TestEnergyAware:
+    def test_biggest_savers_admitted_first(self):
+        # Per-user rho is 0.3; a cap of 0.65 only fits two of the three.
+        candidates = [
+            make_candidate("small", remote_energy_mj=950.0),
+            make_candidate("medium", remote_energy_mj=700.0),
+            make_candidate("large", remote_energy_mj=100.0),
+        ]
+        policy = EnergyAwareAdmission(utilization_cap=0.65)
+        decisions = {d.name: d for d in policy.assign(candidates, n_edges=1)}
+        assert decisions["large"].offload
+        assert decisions["medium"].offload
+        assert not decisions["small"].offload
+
+    def test_energy_losers_stay_local(self):
+        candidates = [make_candidate("loser", remote_energy_mj=2000.0)]
+        decisions = EnergyAwareAdmission().assign(candidates, n_edges=1)
+        assert not decisions[0].offload
+        assert "cost" in decisions[0].reason
+
+    def test_preserves_candidate_order(self):
+        candidates = [
+            make_candidate("b", remote_energy_mj=100.0),
+            make_candidate("a", remote_energy_mj=900.0),
+        ]
+        decisions = EnergyAwareAdmission().assign(candidates, n_edges=1)
+        assert [d.name for d in decisions] == ["b", "a"]
+
+    def test_local_preference_respected(self):
+        candidates = [make_candidate("local", wants_offload=False)]
+        decisions = EnergyAwareAdmission().assign(candidates, n_edges=1)
+        assert not decisions[0].offload
+
+
+class TestCandidateDerivedQuantities:
+    def test_arrival_rate(self):
+        assert make_candidate("u").arrival_rate_per_ms == pytest.approx(0.03)
+
+    def test_energy_saving(self):
+        candidate = make_candidate("u", local_energy_mj=900.0, remote_energy_mj=650.0)
+        assert candidate.energy_saving_mj == pytest.approx(250.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the fleet population generators."""
+
+import pytest
+
+from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.exceptions import ConfigurationError, UnknownDeviceError
+from repro.fleet.population import (
+    FleetPopulation,
+    PoissonSessionModel,
+    UserProfile,
+    homogeneous,
+    mixed_devices,
+    mixed_workloads,
+    with_mode,
+)
+
+
+class TestUserProfile:
+    def test_default_app_is_remote_object_detection(self):
+        user = UserProfile(name="u1")
+        assert user.app.inference.mode is ExecutionMode.REMOTE
+        assert user.wants_offload
+
+    def test_local_profile_does_not_want_offload(self):
+        app = ApplicationConfig.object_detection_default()
+        user = UserProfile(name="u1", app=app)
+        assert not user.wants_offload
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(UnknownDeviceError):
+            UserProfile(name="u1", device="PIXEL9")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserProfile(name="")
+
+
+class TestHomogeneous:
+    def test_size_and_unique_names(self):
+        population = homogeneous(10, device="XR2")
+        assert population.n_users == 10
+        assert len({user.name for user in population}) == 10
+        assert population.device_counts == {"XR2": 10}
+
+    def test_all_users_share_the_app(self):
+        population = homogeneous(5)
+        apps = {user.app for user in population}
+        assert len(apps) == 1
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous(0)
+
+    def test_subset(self):
+        population = homogeneous(8)
+        assert population.subset(3).n_users == 3
+        with pytest.raises(ConfigurationError):
+            population.subset(9)
+
+
+class TestMixedGenerators:
+    def test_mixed_devices_round_robin(self):
+        population = mixed_devices(7, devices=("XR1", "XR3"))
+        assert population.device_counts == {"XR1": 4, "XR3": 3}
+
+    def test_mixed_devices_needs_devices(self):
+        with pytest.raises(ConfigurationError):
+            mixed_devices(4, devices=())
+
+    def test_mixed_workloads_cycles_apps(self):
+        apps = (
+            ApplicationConfig(frame_side_px=300.0),
+            ApplicationConfig(frame_side_px=700.0),
+        )
+        population = mixed_workloads(4, apps=apps)
+        sides = [user.app.frame_side_px for user in population]
+        assert sides == [300.0, 700.0, 300.0, 700.0]
+
+    def test_duplicate_names_rejected(self):
+        user = UserProfile(name="dup")
+        with pytest.raises(ConfigurationError):
+            FleetPopulation(users=(user, user))
+
+
+class TestWithMode:
+    def test_replaces_every_users_mode(self):
+        population = with_mode(homogeneous(3), ExecutionMode.LOCAL)
+        assert all(
+            user.app.inference.mode is ExecutionMode.LOCAL for user in population
+        )
+
+
+class TestPoissonSessions:
+    def test_offered_load(self):
+        model = PoissonSessionModel(arrival_rate_per_min=4.0, mean_session_min=5.0)
+        assert model.offered_load == pytest.approx(20.0)
+
+    def test_trace_is_deterministic_per_seed(self):
+        model = PoissonSessionModel(arrival_rate_per_min=2.0, mean_session_min=3.0)
+        first = model.concurrency_trace(60.0, seed=11)
+        second = model.concurrency_trace(60.0, seed=11)
+        assert (first[0] == second[0]).all()
+        assert (first[1] == second[1]).all()
+
+    def test_peak_concurrency_scales_with_load(self):
+        light = PoissonSessionModel(arrival_rate_per_min=1.0, mean_session_min=1.0)
+        heavy = PoissonSessionModel(arrival_rate_per_min=10.0, mean_session_min=5.0)
+        assert heavy.peak_concurrency(120.0, seed=3) > light.peak_concurrency(
+            120.0, seed=3
+        )
+
+    def test_population_is_at_least_one_user(self):
+        model = PoissonSessionModel(arrival_rate_per_min=0.001, mean_session_min=0.001)
+        population = model.population(1.0, seed=0)
+        assert population.n_users >= 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonSessionModel(arrival_rate_per_min=0.0, mean_session_min=1.0)
+        with pytest.raises(ConfigurationError):
+            PoissonSessionModel(arrival_rate_per_min=1.0, mean_session_min=-2.0)

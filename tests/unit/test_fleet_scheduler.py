@@ -1,0 +1,85 @@
+"""Unit tests for the multi-tenant edge GPU scheduler."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ModelDomainError
+from repro.fleet.edge_scheduler import EdgeScheduler
+from repro.queueing.mg1 import MG1Queue
+
+
+class TestConstruction:
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EdgeScheduler(discipline="lifo")
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(ModelDomainError):
+            EdgeScheduler(service_scv=-1.0)
+
+
+class TestStabilityBoundary:
+    def test_utilization(self):
+        assert EdgeScheduler.utilization(0.05, 10.0) == pytest.approx(0.5)
+
+    def test_stable_below_saturation(self):
+        scheduler = EdgeScheduler()
+        assert scheduler.is_stable(0.099, 10.0)
+        assert not scheduler.is_stable(0.1, 10.0)
+
+    def test_max_stable_arrival_rate(self):
+        assert EdgeScheduler.max_stable_arrival_rate_per_ms(12.5) == pytest.approx(0.08)
+
+    def test_saturated_queue_waits_forever(self):
+        scheduler = EdgeScheduler()
+        assert scheduler.waiting_time_ms(0.2, 10.0) == math.inf
+        assert scheduler.waiting_time_ms(0.1, 10.0) == math.inf
+
+    def test_wait_diverges_towards_saturation(self):
+        scheduler = EdgeScheduler()
+        waits = [scheduler.waiting_time_ms(rho / 10.0, 10.0) for rho in (0.5, 0.9, 0.99)]
+        assert waits[0] < waits[1] < waits[2]
+
+
+class TestWaitingTime:
+    def test_idle_queue_waits_zero(self):
+        scheduler = EdgeScheduler()
+        assert scheduler.waiting_time_ms(0.0, 10.0) == 0.0
+
+    def test_fifo_matches_pollaczek_khinchine(self):
+        scheduler = EdgeScheduler(discipline="fifo", service_scv=0.5)
+        queue = MG1Queue(
+            arrival_rate_per_ms=0.04, mean_service_time_ms=10.0, service_scv=0.5
+        )
+        assert scheduler.waiting_time_ms(0.04, 10.0) == pytest.approx(
+            queue.mean_waiting_time_ms
+        )
+
+    def test_ps_extra_delay(self):
+        # M/G/1-PS sojourn is E[S] / (1 - rho); extra delay is E[S] rho / (1 - rho).
+        scheduler = EdgeScheduler(discipline="ps")
+        assert scheduler.waiting_time_ms(0.05, 10.0) == pytest.approx(10.0)
+
+    def test_ps_is_insensitive_to_scv(self):
+        low = EdgeScheduler(discipline="ps", service_scv=0.0)
+        high = EdgeScheduler(discipline="ps", service_scv=3.0)
+        assert low.waiting_time_ms(0.03, 10.0) == high.waiting_time_ms(0.03, 10.0)
+
+
+class TestTaggedTenant:
+    def test_sole_tenant_waits_zero(self):
+        scheduler = EdgeScheduler()
+        assert scheduler.tagged_waiting_time_ms(10.0, 0.0) == 0.0
+
+    def test_background_load_adds_wait(self):
+        scheduler = EdgeScheduler()
+        assert scheduler.tagged_waiting_time_ms(10.0, 0.05) > 0.0
+
+    def test_negative_background_rejected(self):
+        with pytest.raises(ModelDomainError):
+            EdgeScheduler().tagged_waiting_time_ms(10.0, -0.01)
+
+    def test_non_positive_service_rejected(self):
+        with pytest.raises(ModelDomainError):
+            EdgeScheduler().tagged_waiting_time_ms(0.0, 0.01)

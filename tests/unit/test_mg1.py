@@ -16,6 +16,18 @@ class TestConstruction:
         with pytest.raises(UnstableQueueError):
             MG1Queue(arrival_rate_per_ms=0.1, mean_service_time_ms=1.0, service_scv=-0.5)
 
+    def test_negative_arrival_rate_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            MG1Queue(arrival_rate_per_ms=-0.1, mean_service_time_ms=1.0)
+
+    def test_idle_queue_is_a_valid_boundary_case(self):
+        # A fleet with zero offloaders presents an empty queue, not an error.
+        queue = MG1Queue(arrival_rate_per_ms=0.0, mean_service_time_ms=1.0)
+        assert queue.utilization == 0.0
+        assert queue.mean_waiting_time_ms == 0.0
+        assert queue.mean_number_in_system == 0.0
+        assert queue.mean_time_in_system_ms == pytest.approx(1.0)
+
 
 class TestSpecialCases:
     def test_mm1_special_case_matches_mm1_queue(self):

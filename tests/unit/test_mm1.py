@@ -15,6 +15,15 @@ class TestStability:
         with pytest.raises(UnstableQueueError):
             MM1Queue(arrival_rate_per_ms=-0.1, service_rate_per_ms=1.0)
 
+    def test_idle_queue_is_a_valid_boundary_case(self):
+        # A fleet with zero offloaders presents an empty queue, not an error.
+        queue = MM1Queue(arrival_rate_per_ms=0.0, service_rate_per_ms=1.0)
+        assert queue.utilization == 0.0
+        assert queue.mean_waiting_time_ms == 0.0
+        assert queue.mean_number_in_queue == 0.0
+        assert queue.mean_time_in_system_ms == pytest.approx(queue.mean_service_time_ms)
+        assert queue.prob_empty() == pytest.approx(1.0)
+
     def test_from_rates_hz(self):
         queue = MM1Queue.from_rates_hz(300.0, 600.0)
         assert queue.arrival_rate_per_ms == pytest.approx(0.3)
