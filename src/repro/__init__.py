@@ -20,7 +20,11 @@ Networks"* (Mallik, Xie, Han — ICDCS 2024).  The package provides:
 * a fleet layer that scales the per-user models to ``N`` users sharing one
   Wi-Fi channel and a pool of edge GPUs — population generators, channel
   contention, multi-tenant edge queueing, admission control, and
-  SLO-constrained capacity planning (:mod:`repro.fleet`).
+  SLO-constrained capacity planning (:mod:`repro.fleet`),
+* a vectorized batch evaluation engine that computes whole operating-point
+  grids (frame size x clocks x bitrate x throughput x device x placement)
+  in NumPy array expressions, bit-compatible with the scalar models and
+  orders of magnitude faster (:mod:`repro.batch`).
 
 Quickstart::
 
@@ -62,6 +66,13 @@ from repro.core import (
     XRPerformanceModel,
     calibrated_coefficients,
 )
+from repro.batch import (
+    BatchResult,
+    OperatingPoint,
+    ParameterGrid,
+    evaluate_grid,
+    evaluate_points,
+)
 from repro.devices import XRDevice, EdgeServer, get_device, get_edge_server
 from repro.cnn import CNNModel, get_cnn, list_cnns
 from repro.fleet import (
@@ -77,6 +88,7 @@ __all__ = [
     "AoIModel",
     "AoIResult",
     "ApplicationConfig",
+    "BatchResult",
     "CNNModel",
     "CapacityPlan",
     "CoefficientSet",
@@ -95,6 +107,8 @@ __all__ = [
     "LatencyBreakdown",
     "NetworkConfig",
     "OffloadingPlanner",
+    "OperatingPoint",
+    "ParameterGrid",
     "PerformanceReport",
     "Segment",
     "SensorConfig",
@@ -108,6 +122,8 @@ __all__ = [
     "XRLatencyModel",
     "XRPerformanceModel",
     "calibrated_coefficients",
+    "evaluate_grid",
+    "evaluate_points",
     "get_cnn",
     "get_device",
     "get_edge_server",

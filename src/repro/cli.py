@@ -8,6 +8,8 @@ Installed as ``python -m repro``.  Subcommands:
 * ``aoi``      — AoI/RoI timelines for a set of sensor frequencies,
 * ``session``  — session-level analysis (tails, battery life, thermals),
 * ``fleet``    — multi-user fleet analysis and SLO capacity planning,
+* ``bench``    — scalar-vs-batch evaluation throughput summary (optionally
+  written to a JSON baseline for the perf trajectory),
 * ``tables``   — print the Table I / Table II reproductions,
 * ``validate`` — quick model-vs-simulated-testbed validation (Fig. 4 style).
 
@@ -227,6 +229,124 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from dataclasses import replace
+
+    import numpy as np
+
+    from repro.batch import ParameterGrid, evaluate_grid
+    from repro.fleet import FleetAnalyzer, GreedySLOAdmission, homogeneous
+
+    app = ApplicationConfig.object_detection_default()
+    network = NetworkConfig()
+    model = XRPerformanceModel(device=args.device, edge=args.edge, app=app, network=network)
+
+    # Warm both paths before any timing: the first scalar analyze() pays the
+    # one-time memoized lookups and the first batch call pays lazy imports;
+    # neither belongs in a steady-state throughput baseline.
+    model.analyze(app, network, include_aoi=False)
+    evaluate_grid(
+        ParameterGrid(devices=(args.device,), edge=args.edge, app=app, network=network)
+    )
+
+    def _grid_case(name, cpu_freqs, frame_sides):
+        n_points = len(cpu_freqs) * len(frame_sides)
+        start = time.perf_counter()
+        for cpu_freq in cpu_freqs:
+            for frame_side in frame_sides:
+                model.analyze(
+                    replace(app, cpu_freq_ghz=cpu_freq, frame_side_px=frame_side),
+                    network,
+                    include_aoi=False,
+                )
+        scalar_s = time.perf_counter() - start
+        grid = ParameterGrid(
+            frame_sides_px=tuple(frame_sides),
+            cpu_freqs_ghz=tuple(cpu_freqs),
+            devices=(args.device,),
+            edge=args.edge,
+            app=app,
+            network=network,
+        )
+        start = time.perf_counter()
+        evaluate_grid(grid)
+        batch_s = time.perf_counter() - start
+        return {
+            "name": name,
+            "points": n_points,
+            "scalar_seconds": scalar_s,
+            "batch_seconds": batch_s,
+            "scalar_points_per_s": n_points / scalar_s,
+            "batch_points_per_s": n_points / batch_s,
+            "speedup": scalar_s / batch_s,
+        }
+
+    sweep = SweepConfig.paper_default()
+    cases = [_grid_case("fig4_grid", sweep.cpu_freqs_ghz, sweep.frame_sides_px)]
+    if args.points > 0:
+        n_freqs = max(int(round(args.points**0.5 / 1.25)), 2)
+        n_sides = max(args.points // n_freqs, 2)
+        cases.append(
+            _grid_case(
+                f"grid_{n_freqs * n_sides}",
+                np.linspace(1.0, 3.0, n_freqs),
+                np.linspace(300.0, 700.0, n_sides),
+            )
+        )
+
+    fleet_case = None
+    if args.fleet_users > 0:
+        start = time.perf_counter()
+        report = FleetAnalyzer(
+            homogeneous(args.fleet_users, device=args.device),
+            edge=args.edge,
+            policy=GreedySLOAdmission(slo_ms=800.0),
+            slo_ms=800.0,
+            include_aoi=False,
+        ).analyze()
+        fleet_s = time.perf_counter() - start
+        fleet_case = {
+            "name": f"fleet_{args.fleet_users}",
+            "users": args.fleet_users,
+            "seconds": fleet_s,
+            "users_per_s": args.fleet_users / fleet_s,
+            "p95_latency_ms": report.p95_latency_ms,
+        }
+
+    rows = [
+        (
+            case["name"],
+            f"{case['points']}",
+            f"{case['scalar_points_per_s']:,.0f}",
+            f"{case['batch_points_per_s']:,.0f}",
+            f"{case['speedup']:.0f}x",
+        )
+        for case in cases
+    ]
+    print(f"Evaluation throughput on {args.device} / {args.edge} (points/second)")
+    print(format_table(rows, headers=("grid", "points", "scalar", "batch", "speedup")))
+    if fleet_case is not None:
+        print(
+            f"\nFleet analysis: {fleet_case['users']} users in "
+            f"{fleet_case['seconds']:.2f} s ({fleet_case['users_per_s']:,.0f} users/s)"
+        )
+
+    if args.json:
+        payload = {
+            "device": args.device,
+            "edge": args.edge,
+            "grids": cases,
+            "fleet": fleet_case,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.evaluation.tables import table_1, table_2
 
@@ -348,6 +468,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the SLO capacity plan",
     )
     fleet.set_defaults(handler=_cmd_fleet)
+
+    bench = subparsers.add_parser(
+        "bench", help="scalar-vs-batch evaluation throughput summary"
+    )
+    _add_device_arguments(bench)
+    bench.add_argument(
+        "--points",
+        type=int,
+        default=1000,
+        help="approximate size of the large benchmark grid (0 to skip)",
+    )
+    bench.add_argument(
+        "--fleet-users",
+        type=int,
+        default=10_000,
+        help="fleet size for the fleet-analysis timing (0 to skip)",
+    )
+    bench.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the measurements to a JSON baseline file",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     tables = subparsers.add_parser("tables", help="print the Table I / II reproductions")
     tables.set_defaults(handler=_cmd_tables)

@@ -14,12 +14,42 @@ published values or re-fitted from the synthetic measurement campaign
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
 from repro.cnn.model import CNNModel
 from repro.exceptions import ModelDomainError
+
+
+@lru_cache(maxsize=4096)
+def _evaluate_complexity(
+    intercept: float,
+    depth_coefficient: float,
+    size_coefficient: float,
+    scale_coefficient: float,
+    depth: float,
+    size_mb: float,
+    depth_scale: float,
+) -> float:
+    """Memoized Eq. (12) evaluation (keyed by coefficients and parameters).
+
+    The accumulation order matches the unmemoized expression, so cached and
+    fresh evaluations are bit-identical.
+    """
+    complexity = (
+        intercept
+        + depth_coefficient * depth
+        + size_coefficient * size_mb
+        + scale_coefficient * depth_scale
+    )
+    if complexity <= 0.0:
+        raise ModelDomainError(
+            f"CNN complexity evaluated to {complexity:.4f} <= 0 for "
+            f"depth={depth}, size_mb={size_mb}, depth_scale={depth_scale}"
+        )
+    return complexity
 
 #: Published coefficients of Eq. (12): (intercept, depth, size_mb, depth_scale).
 PAPER_COMPLEXITY_COEFFICIENTS: tuple[float, float, float, float] = (
@@ -89,18 +119,15 @@ class CNNComplexityModel:
                 "CNN parameters must be positive: "
                 f"depth={depth}, size_mb={size_mb}, depth_scale={depth_scale}"
             )
-        complexity = (
-            self.intercept
-            + self.depth_coefficient * depth
-            + self.size_coefficient * size_mb
-            + self.scale_coefficient * depth_scale
+        return _evaluate_complexity(
+            self.intercept,
+            self.depth_coefficient,
+            self.size_coefficient,
+            self.scale_coefficient,
+            depth,
+            size_mb,
+            depth_scale,
         )
-        if complexity <= 0.0:
-            raise ModelDomainError(
-                f"CNN complexity evaluated to {complexity:.4f} <= 0 for "
-                f"depth={depth}, size_mb={size_mb}, depth_scale={depth_scale}"
-            )
-        return complexity
 
     def complexity(self, model: CNNModel) -> float:
         """Evaluate ``C_CNN`` for a :class:`~repro.cnn.model.CNNModel` descriptor."""

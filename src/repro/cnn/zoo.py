@@ -8,6 +8,7 @@ at 331).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List
 
 from repro.cnn.model import CNNModel
@@ -112,8 +113,12 @@ CNN_ZOO: Dict[str, CNNModel] = {
 }
 
 
+@lru_cache(maxsize=None)
 def get_cnn(name: str) -> CNNModel:
     """Look up a CNN model by its Table II name.
+
+    Memoized: model construction on hot paths resolves CNN names without
+    re-touching the zoo dictionary (descriptors are immutable).
 
     Raises:
         UnknownCNNError: if the name is not in the zoo.

@@ -29,35 +29,17 @@ from repro.core.latency import XRLatencyModel
 from repro.core.offloading import OffloadingDecision, OffloadingPlanner
 from repro.core.power import PowerModel
 from repro.core.results import EnergyBreakdown, LatencyBreakdown, PerformanceReport
-from repro.devices.catalog import get_device, get_edge_server
 from repro.devices.device import XRDevice
 from repro.devices.edge_server import EdgeServer
+from repro.devices.resolve import resolve_device_spec, resolve_edge_spec
 from repro.exceptions import ConfigurationError
 
 DeviceLike = Union[str, DeviceSpec, XRDevice]
 EdgeLike = Union[str, EdgeServerSpec, EdgeServer, None]
 
-
-def _resolve_device(device: DeviceLike) -> DeviceSpec:
-    if isinstance(device, XRDevice):
-        return device.spec
-    if isinstance(device, DeviceSpec):
-        return device
-    if isinstance(device, str):
-        return get_device(device)
-    raise ConfigurationError(f"cannot interpret {device!r} as an XR device")
-
-
-def _resolve_edge(edge: EdgeLike) -> Optional[EdgeServerSpec]:
-    if edge is None:
-        return None
-    if isinstance(edge, EdgeServer):
-        return edge.spec
-    if isinstance(edge, EdgeServerSpec):
-        return edge
-    if isinstance(edge, str):
-        return get_edge_server(edge)
-    raise ConfigurationError(f"cannot interpret {edge!r} as an edge server")
+# Shared resolution helpers (kept under their historical local names).
+_resolve_device = resolve_device_spec
+_resolve_edge = resolve_edge_spec
 
 
 class XRPerformanceModel:
@@ -198,6 +180,46 @@ class XRPerformanceModel:
 
     # -- sweeps -------------------------------------------------------------------------
 
+    def sweep_batch(
+        self,
+        frame_sides_px: Sequence[float],
+        cpu_freqs_ghz: Sequence[float],
+        mode: Optional[ExecutionMode] = None,
+        app: Optional[ApplicationConfig] = None,
+        network: Optional[NetworkConfig] = None,
+        include_aoi: bool = False,
+    ):
+        """Evaluate a (CPU frequency x frame size) sweep as one vectorized batch.
+
+        Returns a :class:`repro.batch.BatchResult` whose point order matches
+        the nested ``for cpu_freq: for frame_side`` loop of :meth:`sweep`;
+        prefer this over :meth:`sweep` when only the metric arrays are needed.
+        """
+        from repro.batch import ParameterGrid, evaluate_grid
+
+        app = self._app_or_default(app)
+        network = self._network_or_default(network)
+        if mode is not None:
+            app = app.with_mode(mode)
+        grid = ParameterGrid(
+            frame_sides_px=tuple(frame_sides_px),
+            cpu_freqs_ghz=tuple(cpu_freqs_ghz),
+            devices=(self.device,),
+            edge=self.edge,
+            app=app,
+            network=network,
+        )
+        result = evaluate_grid(
+            grid,
+            coefficients=self.coefficients,
+            complexity_mode=self.latency_model.complexity_mode,
+            include_aoi=include_aoi,
+        )
+        # Keep the scalar diagnostic alive: record the clamps the per-point
+        # path would have counted.
+        self.power_model.clamp_count += result.power_clamp_count
+        return result
+
     def sweep(
         self,
         frame_sides_px: Sequence[float],
@@ -210,19 +232,22 @@ class XRPerformanceModel:
 
         Returns a mapping from ``(cpu_freq_ghz, frame_side_px)`` to the
         corresponding performance report — the raw material of the Fig. 4 and
-        Fig. 5 sweeps.
+        Fig. 5 sweeps.  The grid is evaluated by the vectorized batch engine
+        (:mod:`repro.batch`); the reports are bit-identical to per-point
+        :meth:`analyze` calls.
         """
-        app = self._app_or_default(app)
-        network = self._network_or_default(network)
-        if mode is not None:
-            app = app.with_mode(mode)
         results: Dict[Tuple[float, float], PerformanceReport] = {}
+        if len(frame_sides_px) == 0 or len(cpu_freqs_ghz) == 0:
+            # An empty axis is an empty sweep, not a configuration error.
+            return results
+        batch = self.sweep_batch(
+            frame_sides_px, cpu_freqs_ghz, mode=mode, app=app, network=network
+        )
+        index = 0
         for cpu_freq in cpu_freqs_ghz:
             for frame_side in frame_sides_px:
-                point_app = replace(app, cpu_freq_ghz=cpu_freq, frame_side_px=frame_side)
-                results[(cpu_freq, frame_side)] = self.analyze(
-                    point_app, network, include_aoi=False
-                )
+                results[(cpu_freq, frame_side)] = batch.report_at(index)
+                index += 1
         return results
 
     # -- offloading --------------------------------------------------------------------

@@ -166,7 +166,12 @@ class OffloadingPlanner:
         network: Optional[NetworkConfig] = None,
         n_edge_servers: int = 1,
     ) -> List[OffloadingDecision]:
-        """Evaluate all candidate placements, best (lowest score) first."""
+        """Evaluate all candidate placements, best (lowest score) first.
+
+        The three candidates differ structurally (execution mode), so the
+        batch engine cannot group them; per-candidate scalar evaluation is
+        the faster path here and honours any customized energy model.
+        """
         candidates = self.candidate_placements(app, n_edge_servers=n_edge_servers)
         decisions = [self.evaluate(candidate, network) for candidate in candidates]
         return sorted(decisions, key=lambda decision: decision.score)

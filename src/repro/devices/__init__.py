@@ -22,6 +22,7 @@ from repro.devices.catalog import (
 from repro.devices.device import XRDevice
 from repro.devices.edge_server import EdgeServer
 from repro.devices.power_rail import PowerRail, PowerSample
+from repro.devices.resolve import resolve_device_spec, resolve_edge_spec
 from repro.devices.thermals import ThermalModel
 
 __all__ = [
@@ -39,4 +40,6 @@ __all__ = [
     "get_edge_server",
     "list_devices",
     "list_edge_servers",
+    "resolve_device_spec",
+    "resolve_edge_spec",
 ]

@@ -14,6 +14,7 @@ trained on XR1, XR3, XR5 and XR6 and tested on XR2, XR4 and XR7
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 from repro.config.device import DeviceSpec, EdgeServerSpec
@@ -202,8 +203,12 @@ TRAIN_DEVICES: Tuple[str, ...] = ("XR1", "XR3", "XR5", "XR6")
 TEST_DEVICES: Tuple[str, ...] = ("XR2", "XR4", "XR7")
 
 
+@lru_cache(maxsize=None)
 def get_device(name: str) -> DeviceSpec:
     """Look up an XR device by its short name (``"XR1"`` .. ``"XR7"``).
+
+    Memoized: repeated model construction resolves catalog names without
+    re-touching the catalog dictionary (specs are immutable).
 
     Raises:
         UnknownDeviceError: if the name is not in the catalog.
@@ -216,8 +221,11 @@ def get_device(name: str) -> DeviceSpec:
         ) from error
 
 
+@lru_cache(maxsize=None)
 def get_edge_server(name: str) -> EdgeServerSpec:
     """Look up an edge server by its short name.
+
+    Memoized like :func:`get_device`.
 
     Raises:
         UnknownDeviceError: if the name is not in the catalog.

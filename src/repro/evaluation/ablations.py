@@ -21,11 +21,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cnn.zoo import list_cnns
-from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.application import ApplicationConfig
 from repro.config.network import NetworkConfig
 from repro.core.coefficients import CoefficientSet, calibrated_coefficients
 from repro.core.framework import XRPerformanceModel
-from repro.core.latency import XRLatencyModel
 from repro.devices.catalog import get_device, get_edge_server
 from repro.evaluation.metrics import mean_absolute_percentage_error
 from repro.evaluation.report import format_table
@@ -52,20 +51,38 @@ class AblationResult:
 def ablation_complexity_mode(
     device: str = "XR2", edge: str = "EDGE-AGX"
 ) -> AblationResult:
-    """Compare the paper's Eq. (11) complexity placement against the proportional form."""
+    """Compare the paper's Eq. (11) complexity placement against the proportional form.
+
+    Both complexity modes are evaluated over all lightweight CNNs with one
+    batch call each (one structure group per CNN), reading the
+    local-inference segment straight from the result arrays.
+    """
+    from repro.batch import OperatingPoint, evaluate_points
+    from repro.core.segments import Segment
+
     app = ApplicationConfig.object_detection_default()
+    network = NetworkConfig()
+    cnns = list_cnns(tier="lightweight")
+    points = [
+        OperatingPoint(
+            app=replace(app, inference=replace(app.inference, local_cnn=cnn.name)),
+            network=network,
+            device=device,
+            edge=edge,
+        )
+        for cnn in cnns
+    ]
+    paper_ms_values = evaluate_points(
+        points, complexity_mode="paper", include_aoi=False
+    ).segment_latency_ms(Segment.LOCAL_INFERENCE)
+    proportional_ms_values = evaluate_points(
+        points, complexity_mode="proportional", include_aoi=False
+    ).segment_latency_ms(Segment.LOCAL_INFERENCE)
     rows: List[Tuple[str, ...]] = []
     ratios: List[float] = []
-    for cnn in list_cnns(tier="lightweight"):
-        app_cnn = replace(app, inference=replace(app.inference, local_cnn=cnn.name))
-        paper_model = XRLatencyModel(
-            device=get_device(device), edge=get_edge_server(edge), complexity_mode="paper"
-        )
-        proportional_model = XRLatencyModel(
-            device=get_device(device), edge=get_edge_server(edge), complexity_mode="proportional"
-        )
-        paper_ms = paper_model.local_inference_ms(app_cnn)
-        proportional_ms = proportional_model.local_inference_ms(app_cnn)
+    for cnn, paper_ms, proportional_ms in zip(
+        cnns, paper_ms_values, proportional_ms_values
+    ):
         ratios.append(proportional_ms / paper_ms if paper_ms > 0 else float("nan"))
         rows.append((cnn.name, f"{paper_ms:.2f}", f"{proportional_ms:.2f}"))
     headline = (
@@ -82,28 +99,40 @@ def ablation_complexity_mode(
 
 
 def ablation_memory_term(device: str = "XR2", edge: str = "EDGE-AGX") -> AblationResult:
-    """Quantify the contribution of the memory-bandwidth (``delta/m``) terms."""
+    """Quantify the contribution of the memory-bandwidth (``delta/m``) terms.
+
+    Both device variants (real memory bandwidth vs an effectively infinite
+    one) are evaluated over the frame-size axis with one batch grid each.
+    """
+    from repro.batch import ParameterGrid, evaluate_grid
+
     app = ApplicationConfig.object_detection_default()
     network = NetworkConfig()
     spec = get_device(device)
+    frame_sides = (300.0, 500.0, 700.0)
+
+    def totals(device_spec) -> np.ndarray:
+        grid = ParameterGrid(
+            frame_sides_px=frame_sides,
+            devices=(device_spec,),
+            edge=get_edge_server(edge),
+            app=app,
+            network=network,
+        )
+        return evaluate_grid(grid).total_latency_ms
+
+    with_memory = totals(spec)
+    without_memory = totals(spec.with_memory_bandwidth(1e9))
     rows: List[Tuple[str, ...]] = []
     contributions: List[float] = []
-    for frame_side in (300.0, 500.0, 700.0):
-        point = app.with_frame_side(frame_side)
-        with_memory = XRLatencyModel(device=spec, edge=get_edge_server(edge)).end_to_end(
-            point, network
-        )
-        no_memory_spec = spec.with_memory_bandwidth(1e9)
-        without_memory = XRLatencyModel(
-            device=no_memory_spec, edge=get_edge_server(edge)
-        ).end_to_end(point, network)
-        delta = with_memory.total_ms - without_memory.total_ms
-        contributions.append(delta / with_memory.total_ms * 100.0)
+    for frame_side, with_ms, without_ms in zip(frame_sides, with_memory, without_memory):
+        delta = with_ms - without_ms
+        contributions.append(delta / with_ms * 100.0)
         rows.append(
             (
                 f"{frame_side:.0f}",
-                f"{with_memory.total_ms:.1f}",
-                f"{without_memory.total_ms:.1f}",
+                f"{with_ms:.1f}",
+                f"{without_ms:.1f}",
                 f"{delta:.2f}",
             )
         )

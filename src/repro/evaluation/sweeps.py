@@ -146,26 +146,31 @@ def run_sweep_comparison(
         network=network,
         coefficients=coefficients,
     )
-    predictions = model.sweep(
+    # One vectorized batch evaluation of the whole model grid; the metric
+    # arrives as a (n_freqs, n_sides) array, so the per-curve series are
+    # plain row slices instead of a per-point dict-extraction loop.
+    predictions = model.sweep_batch(
         frame_sides_px=sweep.frame_sides_px,
         cpu_freqs_ghz=sweep.cpu_freqs_ghz,
         mode=mode,
         network=network,
     )
+    model_matrix = predictions.metric(metric).reshape(
+        len(sweep.cpu_freqs_ghz), len(sweep.frame_sides_px)
+    )
 
     series: List[SweepSeries] = []
-    for cpu_freq in sweep.cpu_freqs_ghz:
-        truth_values = []
-        model_values = []
-        for frame_side in sweep.frame_sides_px:
-            truth_values.append(_extract_metric(ground_truth[(cpu_freq, frame_side)], metric))
-            model_values.append(_extract_metric(predictions[(cpu_freq, frame_side)], metric))
+    for row, cpu_freq in enumerate(sweep.cpu_freqs_ghz):
+        truth_values = tuple(
+            _extract_metric(ground_truth[(cpu_freq, frame_side)], metric)
+            for frame_side in sweep.frame_sides_px
+        )
         series.append(
             SweepSeries(
                 cpu_freq_ghz=cpu_freq,
                 frame_sides_px=tuple(sweep.frame_sides_px),
-                ground_truth=tuple(truth_values),
-                model=tuple(model_values),
+                ground_truth=truth_values,
+                model=tuple(float(value) for value in model_matrix[row]),
             )
         )
     return SweepComparison(

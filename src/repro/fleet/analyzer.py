@@ -124,10 +124,16 @@ class FleetAnalyzer:
         self._models: Dict[str, XRPerformanceModel] = {}
         # Per-(device, app, network) report cache: the per-user loop over a
         # 10k-user fleet hits this cache for all but a handful of evaluations.
+        # Unique keys are batch-evaluated together (see _prime_reports).
         self._reports: Dict[
             Tuple[str, ApplicationConfig, NetworkConfig], PerformanceReport
         ] = {}
         self._service_times: Dict[Tuple[str, ApplicationConfig], float] = {}
+        # Mode-variant cache: with_mode() rebuilds frozen configs, which
+        # dominates the per-user loop on large homogeneous fleets.
+        self._mode_variants: Dict[
+            Tuple[ApplicationConfig, ExecutionMode], ApplicationConfig
+        ] = {}
 
     # -- memoized building blocks ------------------------------------------------
 
@@ -143,6 +149,42 @@ class FleetAnalyzer:
             )
             self._models[device] = model
         return model
+
+    def _mode_variant(
+        self, app: ApplicationConfig, mode: ExecutionMode
+    ) -> ApplicationConfig:
+        """Memoized ``app.with_mode(mode)`` (identity when already in the mode)."""
+        key = (app, mode)
+        variant = self._mode_variants.get(key)
+        if variant is None:
+            variant = app.with_mode(mode)
+            self._mode_variants[key] = variant
+        return variant
+
+    def _prime_reports(
+        self, keys: Sequence[Tuple[str, ApplicationConfig, NetworkConfig]]
+    ) -> None:
+        """Batch-evaluate all not-yet-cached (device, app, network) keys at once.
+
+        One call to the vectorized batch engine replaces one scalar
+        ``analyze()`` per key; the resulting reports are bit-identical.
+        """
+        from repro.batch import OperatingPoint, evaluate_points
+
+        missing = [key for key in dict.fromkeys(keys) if key not in self._reports]
+        if not missing:
+            return
+        batch = evaluate_points(
+            [
+                OperatingPoint(app=app, network=network, device=device, edge=self.edge)
+                for device, app, network in missing
+            ],
+            coefficients=self.coefficients,
+            complexity_mode=self.complexity_mode,
+            include_aoi=self.include_aoi,
+        )
+        for index, key in enumerate(missing):
+            self._reports[key] = batch.report_at(index)
 
     def _report(
         self, device: str, app: ApplicationConfig, network: NetworkConfig
@@ -179,11 +221,27 @@ class FleetAnalyzer:
         """
         n_wants = sum(1 for user in self.population if user.wants_offload)
         remote_network = self.contention.network_for(max(n_wants, 1))
+        # Collect every unique (device, app, network) key up front and
+        # evaluate them in one vectorized batch instead of per-user calls.
+        keys: List[Tuple[str, ApplicationConfig, NetworkConfig]] = []
+        for user in self.population:
+            keys.append(
+                (user.device, self._mode_variant(user.app, ExecutionMode.LOCAL), self.network)
+            )
+            remote_app = (
+                user.app
+                if user.wants_offload
+                else self._mode_variant(user.app, ExecutionMode.REMOTE)
+            )
+            keys.append((user.device, remote_app, remote_network))
+        self._prime_reports(keys)
         result: List[UserCandidate] = []
         for user in self.population:
-            local_app = user.app.with_mode(ExecutionMode.LOCAL)
+            local_app = self._mode_variant(user.app, ExecutionMode.LOCAL)
             remote_app = (
-                user.app if user.wants_offload else user.app.with_mode(ExecutionMode.REMOTE)
+                user.app
+                if user.wants_offload
+                else self._mode_variant(user.app, ExecutionMode.REMOTE)
             )
             local = self._report(user.device, local_app, self.network)
             remote = self._report(user.device, remote_app, remote_network)
@@ -229,12 +287,34 @@ class FleetAnalyzer:
                 candidate.arrival_rate_per_ms * candidate.service_time_ms
             )
 
+        # Batch-evaluate the outcome reports that candidates() did not already
+        # cover (the post-admission contention level can differ from the
+        # admission bound when a policy rejects users).
+        outcome_keys: List[Tuple[str, ApplicationConfig, NetworkConfig]] = []
+        for user, decision in zip(self.population, decisions):
+            if decision.offload:
+                outcome_app = (
+                    user.app
+                    if user.wants_offload
+                    else self._mode_variant(user.app, ExecutionMode.REMOTE)
+                )
+                outcome_keys.append((user.device, outcome_app, contended))
+            else:
+                outcome_keys.append(
+                    (
+                        user.device,
+                        self._mode_variant(user.app, ExecutionMode.LOCAL),
+                        self.network,
+                    )
+                )
+        self._prime_reports(outcome_keys)
+
         outcomes: List[UserOutcome] = []
         for user, decision in zip(self.population, decisions):
             candidate = by_name[user.name]
             if decision.offload:
-                app = user.app if user.wants_offload else user.app.with_mode(
-                    ExecutionMode.REMOTE
+                app = user.app if user.wants_offload else self._mode_variant(
+                    user.app, ExecutionMode.REMOTE
                 )
                 network = contended
                 if edge_busy[decision.edge_index] >= 1.0:
@@ -258,7 +338,7 @@ class FleetAnalyzer:
                         background_busy / background if background > 0.0 else None,
                     )
             else:
-                app = user.app.with_mode(ExecutionMode.LOCAL)
+                app = self._mode_variant(user.app, ExecutionMode.LOCAL)
                 network = self.network
                 wait_ms = 0.0
             report = self._report(user.device, app, network)

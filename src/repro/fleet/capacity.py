@@ -6,17 +6,31 @@ a given device/edge/CNN combination.  Feasibility is monotone in the fleet
 size — contention only shrinks per-user throughput and edge queueing only
 grows with tenants — so the planner exponentially grows an upper bound and
 then bisects, evaluating ``O(log N)`` fleets.
+
+Probe evaluation is vectorized: for the default round-robin policy a
+homogeneous fleet of ``n`` identical users needs only *one* per-user report
+(evaluated through the batch engine of :mod:`repro.batch`, whose results are
+bit-identical to the scalar path) plus per-edge queueing arithmetic, so each
+bisection probe costs O(n_edges) instead of O(n) Python-object work.  The
+probe reproduces :meth:`repro.fleet.analyzer.FleetAnalyzer.analyze`
+operation-for-operation (including the accumulation order of the per-edge
+offered load), so the planned capacity is identical to the exhaustive path.
+A custom admission policy falls back to full :class:`FleetAnalyzer` probes.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
-from repro.config.application import ApplicationConfig
+import numpy as np
+
+from repro.config.application import ApplicationConfig, ExecutionMode
 from repro.config.device import EdgeServerSpec
 from repro.config.network import NetworkConfig
 from repro.core.coefficients import CoefficientSet
+from repro.core.segments import Segment
 from repro.exceptions import ConfigurationError
 from repro.fleet.admission import AdmissionPolicy, RoundRobinAdmission
 from repro.fleet.analyzer import FleetAnalyzer
@@ -71,6 +85,156 @@ class CapacityPlan:
         )
 
 
+class _HomogeneousRoundRobinProbe:
+    """Vectorized p95 probe for homogeneous all-identical round-robin fleets.
+
+    Mirrors ``FleetAnalyzer.analyze`` for the special case the capacity
+    planner constructs: every user shares one device and application config,
+    and the round-robin policy admits every offload-preferring user.  The
+    per-user report is evaluated once per probed fleet size through the
+    batch engine; the per-edge queueing waits use the same
+    :class:`EdgeScheduler` calls (and the same floating-point accumulation
+    order for the offered load) as the exhaustive analyzer.
+    """
+
+    def __init__(
+        self,
+        device: str,
+        edge: Union[str, EdgeServerSpec],
+        n_edges: int,
+        app: Optional[ApplicationConfig],
+        network: Optional[NetworkConfig],
+        coefficients: CoefficientSet,
+        contention: Optional[ContentionModel],
+        scheduler: Optional[EdgeScheduler],
+    ) -> None:
+        self.device = device
+        self.edge = edge
+        self.n_edges = n_edges
+        # Resolve the default application exactly as the exhaustive path
+        # does, by asking the population generator itself.
+        base_app = homogeneous(1, device=device, app=app).users[0].app
+        self.wants_offload = base_app.inference.mode is not ExecutionMode.LOCAL
+        self.local_app = base_app.with_mode(ExecutionMode.LOCAL)
+        self.remote_app = (
+            base_app if self.wants_offload else base_app.with_mode(ExecutionMode.REMOTE)
+        )
+        self.network = network if network is not None else NetworkConfig()
+        self.coefficients = coefficients
+        self.contention = (
+            contention if contention is not None else ContentionModel(network=self.network)
+        )
+        self.scheduler = scheduler if scheduler is not None else EdgeScheduler()
+        self.frame_rate_fps = base_app.frame_rate_fps
+        self._local_latency: Optional[float] = None
+        self._remote_cache: Dict[int, tuple] = {}
+        self._p95_cache: Dict[int, float] = {}
+
+    # -- batch-evaluated per-user reports -------------------------------------
+
+    def _local_latency_ms(self) -> float:
+        from repro.batch import OperatingPoint, evaluate_points
+
+        if self._local_latency is None:
+            batch = evaluate_points(
+                [
+                    OperatingPoint(
+                        app=self.local_app,
+                        network=self.network,
+                        device=self.device,
+                        edge=self.edge,
+                    )
+                ],
+                coefficients=self.coefficients,
+                include_aoi=False,
+            )
+            self._local_latency = float(batch.total_latency_ms[0])
+        return self._local_latency
+
+    def _remote_stats(self, n_users: int) -> tuple:
+        """(total latency, edge service time) under ``n_users`` contenders."""
+        from repro.batch import OperatingPoint, evaluate_points
+
+        cached = self._remote_cache.get(n_users)
+        if cached is None:
+            contended = self.contention.network_for(n_users)
+            batch = evaluate_points(
+                [
+                    OperatingPoint(
+                        app=self.remote_app,
+                        network=contended,
+                        device=self.device,
+                        edge=self.edge,
+                    )
+                ],
+                coefficients=self.coefficients,
+                include_aoi=False,
+            )
+            cached = (
+                float(batch.total_latency_ms[0]),
+                float(batch.segment_latency_ms(Segment.REMOTE_INFERENCE)[0]),
+            )
+            self._remote_cache[n_users] = cached
+        return cached
+
+    # -- p95 ------------------------------------------------------------------
+
+    def p95_latency_ms(self, n_users: int) -> float:
+        """Fleet p95 motion-to-photon latency, identical to the analyzer's."""
+        cached = self._p95_cache.get(n_users)
+        if cached is not None:
+            return cached
+        if not self.wants_offload:
+            # Nobody offloads: every user sees the uncontended local latency.
+            latencies = np.full(n_users, self._local_latency_ms())
+        else:
+            remote_latency, service_ms = self._remote_stats(n_users)
+            arrival = self.frame_rate_fps / 1e3
+            # Round robin deals users 0..n-1 onto edges cyclically, so edge i
+            # carries ceil or floor of n / n_edges tenants.
+            base, extra = divmod(n_users, self.n_edges)
+            tenant_counts = [
+                base + 1 if index < extra else base for index in range(self.n_edges)
+            ]
+            # The analyzer accumulates each edge's offered load one admitted
+            # user at a time; cumulative sums replicate that addition order.
+            k_max = max(tenant_counts)
+            rate_cum = np.cumsum(np.full(k_max, arrival))
+            busy_cum = np.cumsum(np.full(k_max, arrival * service_ms))
+            # One vectorized waiting-time evaluation over the distinct tenant
+            # counts (round robin produces at most two).
+            distinct_counts = sorted({count for count in tenant_counts if count > 0})
+            backgrounds = []
+            background_services = []
+            saturated = []
+            for count in distinct_counts:
+                edge_rate = float(rate_cum[count - 1])
+                edge_busy = float(busy_cum[count - 1])
+                saturated.append(edge_busy >= 1.0)
+                background = max(edge_rate - arrival, 0.0)
+                background_busy = max(edge_busy - arrival * service_ms, 0.0)
+                backgrounds.append(background)
+                background_services.append(
+                    background_busy / background if background > 0.0 else service_ms
+                )
+            waits = self.scheduler.tagged_waiting_times_ms(
+                service_ms, backgrounds, background_services
+            )
+            wait_by_count = {
+                count: math.inf if is_saturated else float(wait)
+                for count, is_saturated, wait in zip(distinct_counts, saturated, waits)
+            }
+            per_edge_latency = [
+                remote_latency + wait_by_count.get(count, 0.0)
+                for count in tenant_counts
+            ]
+            latencies = np.repeat(np.asarray(per_edge_latency), tenant_counts)
+        method = "linear" if np.isfinite(latencies).all() else "lower"
+        p95 = float(np.percentile(latencies, 95, method=method))
+        self._p95_cache[n_users] = p95
+        return p95
+
+
 def plan_capacity(
     device: str = "XR1",
     edge: Union[str, EdgeServerSpec] = "EDGE-AGX",
@@ -89,14 +253,44 @@ def plan_capacity(
     Builds homogeneous offloading fleets of growing size and reports the
     largest one whose p95 motion-to-photon latency meets the SLO.  The
     default round-robin policy offloads everyone, so the plan reflects the
-    infrastructure's raw capacity rather than an admission policy's gating.
+    infrastructure's raw capacity rather than an admission policy's gating —
+    and lets every bisection probe run through the O(n_edges) vectorized
+    probe instead of an O(n) per-user analysis.
     """
     if slo_ms <= 0.0:
         raise ConfigurationError(f"SLO must be > 0 ms, got {slo_ms}")
     shared_coefficients = (
         coefficients if coefficients is not None else CoefficientSet.paper()
     )
-    shared_policy = policy if policy is not None else RoundRobinAdmission()
+
+    if policy is None or type(policy) is RoundRobinAdmission:
+        probe = _HomogeneousRoundRobinProbe(
+            device=device,
+            edge=edge,
+            n_edges=n_edges,
+            app=app,
+            network=network,
+            coefficients=shared_coefficients,
+            contention=contention,
+            scheduler=scheduler,
+        )
+
+        def feasible(n_users: int) -> bool:
+            return probe.p95_latency_ms(n_users) <= slo_ms
+
+        capacity, ceiling_reached, evaluations = bisect_capacity(feasible, max_users)
+        p95 = probe.p95_latency_ms(capacity) if capacity >= 1 else None
+        return CapacityPlan(
+            slo_ms=slo_ms,
+            max_users=capacity,
+            p95_at_capacity_ms=p95,
+            search_ceiling=max_users,
+            ceiling_reached=ceiling_reached,
+            evaluations=evaluations,
+        )
+
+    # Custom admission policy: fall back to exhaustive fleet analyses.
+    shared_policy = policy
     reports: Dict[int, FleetReport] = {}
 
     def report_for(n_users: int) -> FleetReport:

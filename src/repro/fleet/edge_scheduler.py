@@ -22,10 +22,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError, ModelDomainError
 from repro.queueing.mg1 import MG1Queue
+from repro.queueing.vectorized import mg1_waiting_ms, ps_waiting_ms
 
 #: Supported service disciplines.
 DISCIPLINES = ("fifo", "ps")
@@ -150,3 +153,34 @@ class EdgeScheduler:
             service_scv=self.service_scv,
         )
         return queue.mean_waiting_time_ms
+
+    def tagged_waiting_times_ms(
+        self,
+        service_time_ms: float,
+        background_arrival_rates_per_ms: Sequence[float],
+        background_service_times_ms: Sequence[float],
+    ) -> np.ndarray:
+        """Vectorized :meth:`tagged_waiting_time_ms` over background loads.
+
+        Element ``i`` equals ``tagged_waiting_time_ms(service_time_ms,
+        rates[i], services[i])`` bit for bit (via the array queueing ports of
+        :mod:`repro.queueing.vectorized`); saturated entries (``rho >= 1``)
+        map to ``inf`` instead of raising, matching the scalar contract.
+        """
+        if service_time_ms <= 0.0:
+            raise ModelDomainError(
+                f"service time must be > 0, got {service_time_ms}"
+            )
+        rates = np.asarray(background_arrival_rates_per_ms, dtype=float)
+        services = np.asarray(background_service_times_ms, dtype=float)
+        rho = rates * services
+        waits = np.full(rho.shape, math.inf)
+        stable = rho < 1.0
+        if np.any(stable):
+            if self.discipline == "ps":
+                waits[stable] = ps_waiting_ms(service_time_ms, rho[stable])
+            else:
+                waits[stable] = mg1_waiting_ms(
+                    rates[stable], services[stable], self.service_scv
+                )
+        return waits

@@ -49,6 +49,26 @@ class TestCommands:
         assert main(["session", "--device", "XR6", "--frames", "20", "--analytical"]) == 0
         assert "battery" in capsys.readouterr().out
 
+    def test_bench_prints_throughput_summary(self, capsys):
+        assert main(["bench", "--points", "60", "--fleet-users", "50"]) == 0
+        output = capsys.readouterr().out
+        assert "fig4_grid" in output
+        assert "speedup" in output
+        assert "Fleet analysis: 50 users" in output
+
+    def test_bench_writes_json_baseline(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--points", "0", "--fleet-users", "0", "--json", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["grids"][0]["name"] == "fig4_grid"
+        assert payload["grids"][0]["points"] == 15
+        assert payload["fleet"] is None
+        assert "wrote" in capsys.readouterr().out
+
     def test_fleet_prints_report_and_capacity(self, capsys):
         assert main(["fleet", "--device", "XR1", "--edge", "EDGE-AGX", "--users", "16"]) == 0
         output = capsys.readouterr().out
