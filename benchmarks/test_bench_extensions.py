@@ -6,6 +6,7 @@ splitting, and session-level analysis.
 """
 
 from repro.evaluation.extensions import (
+    adaptation_extension,
     mobility_extension,
     multi_edge_extension,
     pathloss_extension,
@@ -39,6 +40,20 @@ def test_bench_extension_multi_edge(benchmark):
     print(result.to_text())
     remote = [float(row[1]) for row in result.rows]
     assert remote[-1] < remote[0]
+
+
+def test_bench_extension_adaptation(benchmark):
+    result = benchmark.pedantic(
+        adaptation_extension, kwargs={"n_epochs": 150, "seed": 3}, iterations=1, rounds=1
+    )
+    save_text("extension_adaptation.txt", result.to_text())
+    print()
+    print(result.to_text())
+    # Rows: best static, hysteresis, greedy, ewma — all deadline-safe, and
+    # the greedy sweep carries more inference quality than the static point.
+    assert len(result.rows) == 4
+    qualities = [float(row[3]) for row in result.rows]
+    assert qualities[2] > qualities[0]
 
 
 def test_bench_extension_session(benchmark):

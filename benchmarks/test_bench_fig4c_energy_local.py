@@ -3,7 +3,6 @@
 Paper headline: 3.52 % mean error.
 """
 
-from repro.config.application import ExecutionMode
 from repro.core.framework import XRPerformanceModel
 from repro.evaluation.figures import figure_4c
 from repro.evaluation.report import save_text

@@ -24,7 +24,11 @@ Networks"* (Mallik, Xie, Han — ICDCS 2024).  The package provides:
 * a vectorized batch evaluation engine that computes whole operating-point
   grids (frame size x clocks x bitrate x throughput x device x placement)
   in NumPy array expressions, bit-compatible with the scalar models and
-  orders of magnitude faster (:mod:`repro.batch`).
+  orders of magnitude faster (:mod:`repro.batch`),
+* a trace-driven adaptation layer that replays time-varying channel/load
+  conditions (mobility handoffs, fading, fleet contention, synthetic
+  drift/step/burst scenarios) and re-picks the operating point each control
+  epoch with pluggable controllers (:mod:`repro.adaptive`).
 
 Quickstart::
 
@@ -73,6 +77,17 @@ from repro.batch import (
     evaluate_grid,
     evaluate_points,
 )
+from repro.adaptive import (
+    AdaptationReport,
+    AdaptiveRuntime,
+    ConditionTrace,
+    EpochConditions,
+    EwmaPredictive,
+    GreedyBatchSweep,
+    HysteresisThreshold,
+    StaticBaseline,
+    make_trace,
+)
 from repro.devices import XRDevice, EdgeServer, get_device, get_edge_server
 from repro.cnn import CNNModel, get_cnn, list_cnns
 from repro.fleet import (
@@ -85,10 +100,18 @@ from repro.fleet import (
 )
 
 __all__ = [
+    "AdaptationReport",
+    "AdaptiveRuntime",
     "AoIModel",
     "AoIResult",
     "ApplicationConfig",
     "BatchResult",
+    "ConditionTrace",
+    "EpochConditions",
+    "EwmaPredictive",
+    "GreedyBatchSweep",
+    "HysteresisThreshold",
+    "StaticBaseline",
     "CNNModel",
     "CapacityPlan",
     "CoefficientSet",
@@ -128,6 +151,7 @@ __all__ = [
     "get_device",
     "get_edge_server",
     "list_cnns",
+    "make_trace",
     "plan_capacity",
     "__version__",
 ]

@@ -1,0 +1,343 @@
+"""Operating-point controllers for the adaptive runtime.
+
+A controller sees the current epoch's :class:`EpochConditions` *before*
+committing to an operating point (conditions are measured at the epoch
+boundary and held for the epoch), decides an index into the runtime's
+candidate list, and may update internal state from the realised
+:class:`~repro.adaptive.runtime.EpochOutcome` afterwards.
+
+Four controllers are provided, from dumbest to smartest:
+
+* :class:`StaticBaseline` — pins one candidate (the reference every
+  adaptive policy is compared against),
+* :class:`HysteresisThreshold` — a two-rung ladder (offload / fallback)
+  switched by throughput and handoff-probability thresholds with a
+  hysteresis band and an upgrade dwell,
+* :class:`GreedyBatchSweep` — evaluates the full candidate grid under the
+  epoch's conditions through the batch engine and picks the best feasible
+  point (per-epoch regret-free: it misses a deadline only in epochs where
+  *every* candidate misses),
+* :class:`EwmaPredictive` — an EWMA/bandit-style controller: it predicts
+  the next conditions with a conservative exponentially-weighted blend
+  (pessimistic for throughput, optimistic for handoffs never), selects
+  against the prediction, and explores epsilon-greedily among the
+  predicted-feasible candidates with a seeded generator.
+
+All controllers are deterministic given their construction arguments (the
+exploration in :class:`EwmaPredictive` is driven by a seed), which is what
+makes adaptation runs bit-replayable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.adaptive.traces import EpochConditions
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adaptive.runtime import ControlContext, EpochOutcome
+
+
+@runtime_checkable
+class Controller(Protocol):
+    """The contract :class:`~repro.adaptive.runtime.AdaptiveRuntime` drives."""
+
+    name: str
+
+    def reset(self, context: "ControlContext") -> None:
+        """Prepare for a fresh run (called once before the first epoch)."""
+
+    def decide(
+        self, epoch: int, conditions: EpochConditions, context: "ControlContext"
+    ) -> int:
+        """Choose a candidate index for the epoch that is about to run."""
+
+    def observe(
+        self, epoch: int, conditions: EpochConditions, outcome: "EpochOutcome"
+    ) -> None:
+        """Digest the realised outcome of the epoch just decided."""
+
+
+class ControllerBase:
+    """No-op ``reset``/``observe`` so controllers only implement ``decide``."""
+
+    name = "controller"
+
+    def reset(self, context: "ControlContext") -> None:
+        del context
+
+    def observe(
+        self, epoch: int, conditions: EpochConditions, outcome: "EpochOutcome"
+    ) -> None:
+        del epoch, conditions, outcome
+
+
+class StaticBaseline(ControllerBase):
+    """Always run the same operating point.
+
+    Args:
+        index: candidate index to pin.
+    """
+
+    def __init__(self, index: int) -> None:
+        if index < 0:
+            raise ConfigurationError(f"candidate index must be >= 0, got {index}")
+        self.index = int(index)
+        self.name = f"static[{self.index}]"
+
+    def reset(self, context: "ControlContext") -> None:
+        if self.index >= context.n_candidates:
+            raise ConfigurationError(
+                f"static index {self.index} out of range for "
+                f"{context.n_candidates} candidates"
+            )
+
+    def decide(
+        self, epoch: int, conditions: EpochConditions, context: "ControlContext"
+    ) -> int:
+        del epoch, conditions, context
+        return self.index
+
+
+class HysteresisThreshold(ControllerBase):
+    """Two-rung offload/fallback ladder with a hysteresis band.
+
+    The controller engages the *offload* rung when the channel is good
+    (throughput at or above ``high_mbps`` and handoff probability at or
+    below ``handoff_cap``) and drops to the *fallback* rung as soon as the
+    channel leaves the band (throughput below ``low_mbps`` or handoff
+    probability above the cap).  In between, it keeps its current rung —
+    the hysteresis that suppresses flapping.  Downgrades are immediate;
+    upgrades additionally wait ``min_dwell_epochs`` after any switch.
+
+    When the rungs are not given explicitly they are derived from the
+    candidate set at :meth:`reset` time:
+
+    * *offload* is the context's selection under the **worst in-band**
+      conditions (``low_mbps``, ``handoff_cap``) — by latency monotonicity
+      it therefore meets the deadline at every epoch the controller keeps
+      it engaged,
+    * *fallback* is the selection under hostile conditions (throughput at
+      the floor, certain handoff), which lands on a condition-independent
+      (local) candidate whenever one is feasible.
+
+    Args:
+        low_mbps / high_mbps: throughput hysteresis band edges.
+        handoff_cap: handoff probability above which offloading disengages.
+        min_dwell_epochs: epochs to hold a rung before upgrading again.
+        offload_index / fallback_index: explicit rungs (candidate indices);
+            ``None`` derives them as described above.
+    """
+
+    name = "hysteresis"
+
+    def __init__(
+        self,
+        low_mbps: float = 30.0,
+        high_mbps: float = 60.0,
+        handoff_cap: float = 0.1,
+        min_dwell_epochs: int = 3,
+        offload_index: Optional[int] = None,
+        fallback_index: Optional[int] = None,
+    ) -> None:
+        if low_mbps <= 0.0 or high_mbps <= 0.0:
+            raise ConfigurationError("hysteresis thresholds must be > 0 Mbps")
+        if low_mbps >= high_mbps:
+            raise ConfigurationError(
+                f"low_mbps ({low_mbps}) must be below high_mbps ({high_mbps})"
+            )
+        if not 0.0 <= handoff_cap <= 1.0:
+            raise ConfigurationError(
+                f"handoff_cap must be in [0, 1], got {handoff_cap}"
+            )
+        if min_dwell_epochs < 0:
+            raise ConfigurationError(
+                f"min_dwell_epochs must be >= 0, got {min_dwell_epochs}"
+            )
+        self.low_mbps = float(low_mbps)
+        self.high_mbps = float(high_mbps)
+        self.handoff_cap = float(handoff_cap)
+        self.min_dwell_epochs = int(min_dwell_epochs)
+        self._explicit_offload = offload_index
+        self._explicit_fallback = fallback_index
+        self.offload_index = offload_index if offload_index is not None else 0
+        self.fallback_index = fallback_index if fallback_index is not None else 0
+        self._current: Optional[int] = None
+        self._last_switch_epoch = 0
+
+    def reset(self, context: "ControlContext") -> None:
+        if self._explicit_offload is None:
+            band_edge = EpochConditions(
+                time_ms=0.0,
+                throughput_mbps=self.low_mbps,
+                handoff_probability=self.handoff_cap,
+            )
+            self.offload_index = context.select(context.sweep(band_edge))
+        else:
+            self.offload_index = self._explicit_offload
+        if self._explicit_fallback is None:
+            hostile = EpochConditions(
+                time_ms=0.0, throughput_mbps=0.5, handoff_probability=1.0
+            )
+            self.fallback_index = context.select(context.sweep(hostile))
+        else:
+            self.fallback_index = self._explicit_fallback
+        for rung in (self.offload_index, self.fallback_index):
+            if not 0 <= rung < context.n_candidates:
+                raise ConfigurationError(
+                    f"rung index {rung} out of range for "
+                    f"{context.n_candidates} candidates"
+                )
+        self._current = None
+        self._last_switch_epoch = 0
+
+    def decide(
+        self, epoch: int, conditions: EpochConditions, context: "ControlContext"
+    ) -> int:
+        del context
+        in_band = (
+            conditions.throughput_mbps >= self.low_mbps
+            and conditions.handoff_probability <= self.handoff_cap
+        )
+        engage = (
+            conditions.throughput_mbps >= self.high_mbps
+            and conditions.handoff_probability <= self.handoff_cap
+        )
+        if self._current is None:
+            self._current = self.offload_index if engage else self.fallback_index
+            self._last_switch_epoch = epoch
+            return self._current
+        if not in_band and self._current != self.fallback_index:
+            # Safety downgrade: never deferred by the dwell.
+            self._current = self.fallback_index
+            self._last_switch_epoch = epoch
+        elif (
+            engage
+            and self._current != self.offload_index
+            and epoch - self._last_switch_epoch >= self.min_dwell_epochs
+        ):
+            self._current = self.offload_index
+            self._last_switch_epoch = epoch
+        return self._current
+
+
+class GreedyBatchSweep(ControllerBase):
+    """Full-grid sweep per epoch through the batch engine.
+
+    Evaluates every candidate under the epoch's (measured) conditions —
+    nearly free thanks to the runtime's pre-warmed vectorized sweep — and
+    picks the context's best feasible point.  Per-epoch regret-free: in
+    any epoch where at least one candidate meets the deadline, its choice
+    meets the deadline, so its miss count is a lower bound over all static
+    policies.
+
+    Args:
+        objective: selection objective override (None uses the context's).
+    """
+
+    name = "greedy-sweep"
+
+    def __init__(self, objective: Optional[str] = None) -> None:
+        self.objective = objective
+
+    def decide(
+        self, epoch: int, conditions: EpochConditions, context: "ControlContext"
+    ) -> int:
+        del epoch
+        return context.select(context.sweep(conditions), objective=self.objective)
+
+
+class EwmaPredictive(ControllerBase):
+    """EWMA/bandit-style predictive controller.
+
+    Tracks exponentially-weighted moving averages of the observed channel
+    and selects against a *conservative* prediction: the predicted
+    throughput is ``min(observed, ewma)`` and the predicted handoff
+    probability is ``max(observed, ewma)``.  Since end-to-end latency is
+    monotone (non-increasing in throughput, non-decreasing in handoff
+    probability), any candidate feasible under the prediction is feasible
+    under the true conditions — the controller pays for prediction lag
+    with conservatism, never with deadline misses.
+
+    A seeded epsilon-greedy exploration over the predicted-feasible set
+    adds the bandit flavour: with probability ``epsilon`` the controller
+    tries a random feasible candidate instead of the objective's pick,
+    which keeps its outcome statistics fresh across regime changes while
+    remaining deadline-safe and bit-deterministic for a fixed seed.
+
+    Args:
+        alpha: EWMA smoothing factor in (0, 1]; higher tracks faster.
+        epsilon: exploration probability in [0, 1].
+        seed: exploration seed.
+        objective: selection objective override (None uses the context's).
+    """
+
+    name = "ewma-predictive"
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        epsilon: float = 0.1,
+        seed: int = 0,
+        objective: Optional[str] = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.alpha = float(alpha)
+        self.epsilon = float(epsilon)
+        self.seed = int(seed)
+        self.objective = objective
+        self._rng = np.random.default_rng(self.seed)
+        self._ewma_throughput: Optional[float] = None
+        self._ewma_handoff: Optional[float] = None
+
+    def reset(self, context: "ControlContext") -> None:
+        del context
+        self._rng = np.random.default_rng(self.seed)
+        self._ewma_throughput = None
+        self._ewma_handoff = None
+
+    def _predict(self, conditions: EpochConditions) -> EpochConditions:
+        throughput = conditions.throughput_mbps
+        handoff = conditions.handoff_probability
+        if self._ewma_throughput is not None:
+            throughput = min(throughput, self._ewma_throughput)
+            handoff = max(handoff, self._ewma_handoff)
+        return EpochConditions(
+            time_ms=conditions.time_ms,
+            throughput_mbps=throughput,
+            handoff_probability=handoff,
+        )
+
+    def decide(
+        self, epoch: int, conditions: EpochConditions, context: "ControlContext"
+    ) -> int:
+        del epoch
+        predicted = self._predict(conditions)
+        evaluation = context.sweep(predicted)
+        feasible = np.flatnonzero(evaluation.latency_ms <= context.deadline_ms)
+        if feasible.size > 1 and self._rng.random() < self.epsilon:
+            return int(feasible[self._rng.integers(0, feasible.size)])
+        return context.select(evaluation, objective=self.objective)
+
+    def observe(
+        self, epoch: int, conditions: EpochConditions, outcome: "EpochOutcome"
+    ) -> None:
+        del epoch, outcome
+        if self._ewma_throughput is None:
+            self._ewma_throughput = conditions.throughput_mbps
+            self._ewma_handoff = conditions.handoff_probability
+            return
+        self._ewma_throughput = (
+            self.alpha * conditions.throughput_mbps
+            + (1.0 - self.alpha) * self._ewma_throughput
+        )
+        self._ewma_handoff = (
+            self.alpha * conditions.handoff_probability
+            + (1.0 - self.alpha) * self._ewma_handoff
+        )

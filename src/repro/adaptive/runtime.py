@@ -1,0 +1,579 @@
+"""The adaptive runtime: replay a condition trace, pick an operating point
+per control epoch, and score the resulting QoE.
+
+The loop is driven by the discrete-event clock of
+:class:`repro.simulation.des.EventScheduler`: one event per control epoch
+reads the epoch's :class:`~repro.adaptive.traces.EpochConditions`, asks the
+controller for an operating point, and charges the point's per-frame
+latency/energy/AoI under the *true* epoch conditions.
+
+Candidate evaluation goes through the vectorized batch engine
+(:func:`repro.batch.evaluate_points`).  Because the throughput is a
+vectorized axis and the (quantized) handoff probability takes only a few
+distinct values per trace, the runtime can pre-warm its per-epoch sweep
+cache with **one** batched call over all ``epochs x candidates`` points —
+after which a full-grid controller like
+:class:`~repro.adaptive.controllers.GreedyBatchSweep` costs an array argmin
+per epoch.
+
+Quality model
+-------------
+The paper's offloading motivation is accuracy: the edge runs a server-tier
+CNN (YOLOv3) the headset cannot, and larger captured frames retain more
+detail.  :func:`candidate_quality` scores an operating point with that
+proxy — the task-share-weighted CNN tier, scaled by the capture resolution
+relative to the CNN input size — so controllers can maximise inference
+quality subject to the latency deadline.  It is a model-exogenous ranking
+heuristic, not one of the paper's calibrated quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.adaptive.traces import ConditionTrace, EpochConditions
+from repro.batch.engine import evaluate_points
+from repro.batch.grid import OperatingPoint
+from repro.batch.result import BatchResult
+from repro.cnn.zoo import get_cnn
+from repro.config.application import ApplicationConfig
+from repro.config.network import NetworkConfig
+from repro.core.coefficients import CoefficientSet
+from repro.core.offloading import placement_candidates
+from repro.exceptions import ConfigurationError
+from repro.simulation.des import EventScheduler
+
+#: Supported selection objectives (all are deadline-first; see
+#: :meth:`ControlContext.select`).
+OBJECTIVES = ("quality", "latency", "energy")
+
+#: Quality weight of a CNN tier (Table II: server-class models detect what
+#: the lightweight on-device models miss).
+_TIER_QUALITY = {"server": 1.0, "lightweight": 0.55}
+
+
+def candidate_quality(point: OperatingPoint) -> float:
+    """Inference-quality proxy of one operating point, in (0, 1].
+
+    The task-share-weighted quality of the CNNs involved (server tier
+    weighs 1.0, lightweight 0.55), scaled by the captured frame side
+    relative to the 640 px input of the server-tier detectors (capped at 1).
+    """
+    inference = point.app.inference
+    total = inference.total_task
+    remote_fraction = sum(inference.edge_shares) / total
+    local_fraction = max(1.0 - remote_fraction, 0.0)
+    cnn_quality = 0.0
+    if remote_fraction > 0.0:
+        cnn_quality += remote_fraction * _TIER_QUALITY.get(
+            get_cnn(inference.remote_cnn).tier, 0.55
+        )
+    if local_fraction > 0.0:
+        cnn_quality += local_fraction * _TIER_QUALITY.get(
+            get_cnn(inference.local_cnn).tier, 0.55
+        )
+    side_factor = min(point.app.frame_side_px / 640.0, 1.0)
+    return cnn_quality * side_factor
+
+
+def default_candidates(
+    device: str = "XR1",
+    edge: str = "EDGE-AGX",
+    app: Optional[ApplicationConfig] = None,
+    network: Optional[NetworkConfig] = None,
+    cpu_freqs_ghz: Sequence[float] = (1.0, 2.0, 3.0),
+    frame_sides_px: Sequence[float] = (300.0, 500.0, 700.0),
+    n_edge_servers: int = 1,
+) -> Tuple[OperatingPoint, ...]:
+    """The default candidate grid: clocks x frame sides x placements.
+
+    Placements come from :func:`repro.core.offloading.placement_candidates`
+    — the same local / remote / even-split derivation the
+    :class:`~repro.core.offloading.OffloadingPlanner` ranks — so the
+    adaptive layer and the static planner agree on what a "placement
+    candidate" is.
+    """
+    app = app if app is not None else ApplicationConfig.object_detection_default()
+    network = network if network is not None else NetworkConfig()
+    points: List[OperatingPoint] = []
+    for cpu_freq in cpu_freqs_ghz:
+        for frame_side in frame_sides_px:
+            base = replace(
+                app, cpu_freq_ghz=float(cpu_freq), frame_side_px=float(frame_side)
+            )
+            for candidate in placement_candidates(base, n_edge_servers=n_edge_servers):
+                points.append(
+                    OperatingPoint(app=candidate, network=network, device=device, edge=edge)
+                )
+    return tuple(points)
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """Per-candidate metric arrays under one set of epoch conditions."""
+
+    latency_ms: np.ndarray
+    energy_mj: np.ndarray
+    min_roi: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """What the chosen operating point delivered during one epoch."""
+
+    epoch: int
+    time_ms: float
+    index: int
+    latency_ms: float
+    energy_mj: float
+    quality: float
+    deadline_missed: bool
+    min_roi: Optional[float] = None
+
+
+def _min_roi_array(result: BatchResult) -> Optional[np.ndarray]:
+    """Per-point minimum RoI across sensors (None when AoI was not evaluated)."""
+    out = np.empty(result.n_points)
+    for group in result.groups:
+        if group.aoi is None:
+            return None
+        stacked = [group.aoi.roi[name] for name in group.aoi.sensor_names]
+        out[group.positions] = np.minimum.reduce(stacked)
+    return out
+
+
+class ControlContext:
+    """Everything a controller may consult when deciding an epoch.
+
+    The context owns the candidate set, the deadline, the quality scores
+    and a memoized per-conditions sweep of the whole candidate list.  A
+    pre-warm pass (:meth:`prewarm`) fills the memo for every epoch of a
+    trace with a single batched :func:`evaluate_points` call.
+
+    Args:
+        candidates: the operating points the controller chooses among.
+        deadline_ms: per-frame end-to-end latency budget.
+        objective: default selection objective of :meth:`select`.
+        coefficients: regression coefficients shared by every evaluation.
+        complexity_mode: CNN-complexity placement mode.
+        include_aoi: evaluate the AoI model per point (enables the
+            ``min_roi`` arrays and the report's AoI-violation rate).
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[OperatingPoint],
+        deadline_ms: float,
+        objective: str = "quality",
+        coefficients: Optional[CoefficientSet] = None,
+        complexity_mode: str = "paper",
+        include_aoi: bool = True,
+    ) -> None:
+        if not candidates:
+            raise ConfigurationError("the adaptive runtime needs at least one candidate")
+        if deadline_ms <= 0.0:
+            raise ConfigurationError(f"deadline must be > 0 ms, got {deadline_ms}")
+        if objective not in OBJECTIVES:
+            raise ConfigurationError(
+                f"objective must be one of {OBJECTIVES}, got {objective!r}"
+            )
+        self.candidates = tuple(candidates)
+        self.deadline_ms = float(deadline_ms)
+        self.objective = objective
+        self.coefficients = coefficients if coefficients is not None else CoefficientSet.paper()
+        self.complexity_mode = complexity_mode
+        self.include_aoi = include_aoi
+        self.quality = np.asarray([candidate_quality(p) for p in self.candidates])
+        self._memo: Dict[Tuple[float, float], CandidateEvaluation] = {}
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of operating points under control."""
+        return len(self.candidates)
+
+    # -- condition application ------------------------------------------------
+
+    def _conditioned_point(
+        self, point: OperatingPoint, conditions: EpochConditions
+    ) -> OperatingPoint:
+        network = point.network
+        handoff = replace(
+            network.handoff,
+            enabled=True,
+            handoff_probability=float(conditions.handoff_probability),
+        )
+        return replace(
+            point,
+            network=replace(
+                network,
+                throughput_mbps=float(conditions.throughput_mbps),
+                handoff=handoff,
+            ),
+        )
+
+    @staticmethod
+    def _key(conditions: EpochConditions) -> Tuple[float, float]:
+        return (float(conditions.throughput_mbps), float(conditions.handoff_probability))
+
+    # -- evaluation ------------------------------------------------------------
+
+    def sweep(self, conditions: EpochConditions) -> CandidateEvaluation:
+        """Evaluate every candidate under the given conditions (memoized)."""
+        key = self._key(conditions)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        points = [self._conditioned_point(p, conditions) for p in self.candidates]
+        result = evaluate_points(
+            points,
+            coefficients=self.coefficients,
+            complexity_mode=self.complexity_mode,
+            include_aoi=self.include_aoi,
+        )
+        evaluation = CandidateEvaluation(
+            latency_ms=result.total_latency_ms,
+            energy_mj=result.total_energy_mj,
+            min_roi=_min_roi_array(result),
+        )
+        self._memo[key] = evaluation
+        return evaluation
+
+    def prewarm(self, trace: ConditionTrace) -> int:
+        """Fill the sweep memo for every epoch of ``trace`` in one batch call.
+
+        Returns the number of distinct condition keys evaluated.  Epochs
+        whose conditions were already cached cost nothing.
+        """
+        fresh = []
+        seen = set()
+        for epoch in trace:
+            key = self._key(epoch)
+            if key in self._memo or key in seen:
+                continue
+            seen.add(key)
+            fresh.append(epoch)
+        if not fresh:
+            return 0
+        points: List[OperatingPoint] = []
+        for epoch in fresh:
+            points.extend(self._conditioned_point(p, epoch) for p in self.candidates)
+        result = evaluate_points(
+            points,
+            coefficients=self.coefficients,
+            complexity_mode=self.complexity_mode,
+            include_aoi=self.include_aoi,
+        )
+        latency = result.total_latency_ms
+        energy = result.total_energy_mj
+        min_roi = _min_roi_array(result)
+        n = self.n_candidates
+        for i, epoch in enumerate(fresh):
+            window = slice(i * n, (i + 1) * n)
+            self._memo[self._key(epoch)] = CandidateEvaluation(
+                latency_ms=latency[window],
+                energy_mj=energy[window],
+                min_roi=min_roi[window] if min_roi is not None else None,
+            )
+        return len(fresh)
+
+    # -- selection --------------------------------------------------------------
+
+    def select(
+        self, evaluation: CandidateEvaluation, objective: Optional[str] = None
+    ) -> int:
+        """Deadline-first candidate selection.
+
+        Among the candidates whose latency meets the deadline, pick by the
+        objective — ``"quality"`` maximises :func:`candidate_quality` (ties
+        broken by lower energy, then lower latency, then lower index),
+        ``"energy"`` minimises energy, ``"latency"`` minimises latency.
+        When *no* candidate meets the deadline, the least-bad (lowest
+        latency) candidate is returned, so a selection-based controller
+        never misses a deadline a static candidate would have met.
+        """
+        objective = objective if objective is not None else self.objective
+        if objective not in OBJECTIVES:
+            raise ConfigurationError(
+                f"objective must be one of {OBJECTIVES}, got {objective!r}"
+            )
+        latency = evaluation.latency_ms
+        feasible = np.flatnonzero(latency <= self.deadline_ms)
+        if feasible.size == 0:
+            return int(np.argmin(latency))
+        energy = evaluation.energy_mj[feasible]
+        lat = latency[feasible]
+        if objective == "latency":
+            order = np.lexsort((feasible, energy, lat))
+        elif objective == "energy":
+            order = np.lexsort((feasible, lat, energy))
+        else:
+            order = np.lexsort((feasible, lat, energy, -self.quality[feasible]))
+        return int(feasible[order[0]])
+
+
+@dataclass(frozen=True)
+class AdaptationReport:
+    """QoE of one controller over one condition trace.
+
+    All per-epoch series are stored as tuples, so two reports from
+    identical (trace, controller, seed) runs compare equal bit-for-bit.
+
+    Attributes:
+        controller: controller name.
+        trace_name: scenario the controller ran against.
+        objective: selection objective of the run.
+        n_epochs / epoch_ms / deadline_ms: run geometry.
+        chosen_indices: candidate index picked each epoch.
+        latency_ms / energy_mj / quality: per-epoch per-frame metrics of
+            the chosen point under the true conditions.
+        min_roi: per-epoch minimum sensor RoI (None when AoI was off).
+        deadline_miss_rate: fraction of epochs above the deadline.
+        p50/p95/p99_latency_ms: latency percentiles over epochs.
+        mean_energy_mj: mean per-frame energy.
+        total_energy_j: energy integrated over all frames of the trace.
+        mean_quality: mean inference-quality proxy.
+        aoi_violation_rate: fraction of epochs with min RoI < 1 (None when
+            AoI was off).
+        switch_count: number of epoch-to-epoch operating-point changes.
+    """
+
+    controller: str
+    trace_name: str
+    objective: str
+    n_epochs: int
+    epoch_ms: float
+    deadline_ms: float
+    chosen_indices: Tuple[int, ...]
+    latency_ms: Tuple[float, ...]
+    energy_mj: Tuple[float, ...]
+    quality: Tuple[float, ...]
+    min_roi: Optional[Tuple[float, ...]]
+    deadline_miss_rate: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    mean_energy_mj: float
+    total_energy_j: float
+    mean_quality: float
+    aoi_violation_rate: Optional[float]
+    switch_count: int
+
+    def summary(self) -> str:
+        """One-paragraph human-readable QoE summary."""
+        aoi = (
+            f", AoI violations {self.aoi_violation_rate * 100.0:.1f}%"
+            if self.aoi_violation_rate is not None
+            else ""
+        )
+        return (
+            f"{self.controller} on {self.trace_name} ({self.n_epochs} epochs, "
+            f"deadline {self.deadline_ms:.0f} ms): "
+            f"miss rate {self.deadline_miss_rate * 100.0:.1f}%, "
+            f"p95 {self.p95_latency_ms:.1f} ms, p99 {self.p99_latency_ms:.1f} ms, "
+            f"quality {self.mean_quality:.3f}, "
+            f"energy {self.total_energy_j:.1f} J{aoi}, "
+            f"{self.switch_count} switches"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form (used by the bench baseline and replay tests)."""
+        return {
+            "controller": self.controller,
+            "trace_name": self.trace_name,
+            "objective": self.objective,
+            "n_epochs": self.n_epochs,
+            "epoch_ms": self.epoch_ms,
+            "deadline_ms": self.deadline_ms,
+            "chosen_indices": list(self.chosen_indices),
+            "latency_ms": list(self.latency_ms),
+            "energy_mj": list(self.energy_mj),
+            "quality": list(self.quality),
+            "min_roi": list(self.min_roi) if self.min_roi is not None else None,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "mean_energy_mj": self.mean_energy_mj,
+            "total_energy_j": self.total_energy_j,
+            "mean_quality": self.mean_quality,
+            "aoi_violation_rate": self.aoi_violation_rate,
+            "switch_count": self.switch_count,
+        }
+
+
+class AdaptiveRuntime:
+    """Replay a condition trace against a controller and report the QoE.
+
+    One runtime owns the trace, the candidate set and the (shared) sweep
+    cache, so several controllers can be compared on identical conditions
+    without re-evaluating anything::
+
+        runtime = AdaptiveRuntime(trace=burst_trace(400))
+        for controller in (GreedyBatchSweep(), HysteresisThreshold()):
+            print(runtime.run(controller).summary())
+
+    Args:
+        trace: the condition timeline to replay.
+        candidates: operating points under control; defaults to
+            :func:`default_candidates` for ``device``/``edge``.
+        device / edge / app / network: defaults for the candidate builder
+            (ignored when ``candidates`` is given).
+        deadline_ms: per-frame latency budget.
+        objective: default selection objective.
+        coefficients / complexity_mode: forwarded to the batch engine.
+        include_aoi: evaluate AoI per point (adds the AoI-violation rate).
+        prewarm: pre-fill the sweep cache for every trace epoch with one
+            batched call (recommended; disable only to measure the
+            per-epoch evaluation path).
+    """
+
+    def __init__(
+        self,
+        trace: ConditionTrace,
+        candidates: Optional[Sequence[OperatingPoint]] = None,
+        device: str = "XR1",
+        edge: str = "EDGE-AGX",
+        app: Optional[ApplicationConfig] = None,
+        network: Optional[NetworkConfig] = None,
+        deadline_ms: float = 700.0,
+        objective: str = "quality",
+        coefficients: Optional[CoefficientSet] = None,
+        complexity_mode: str = "paper",
+        include_aoi: bool = True,
+        prewarm: bool = True,
+    ) -> None:
+        self.trace = trace
+        if candidates is None:
+            candidates = default_candidates(
+                device=device, edge=edge, app=app, network=network
+            )
+        self.context = ControlContext(
+            candidates=candidates,
+            deadline_ms=deadline_ms,
+            objective=objective,
+            coefficients=coefficients,
+            complexity_mode=complexity_mode,
+            include_aoi=include_aoi,
+        )
+        self._frames_per_epoch = np.asarray(
+            [trace.epoch_ms / p.app.frame_period_ms for p in self.context.candidates]
+        )
+        if prewarm:
+            self.context.prewarm(trace)
+
+    @property
+    def candidates(self) -> Tuple[OperatingPoint, ...]:
+        """The operating points under control."""
+        return self.context.candidates
+
+    # -- the control loop -------------------------------------------------------
+
+    def run(self, controller) -> AdaptationReport:
+        """Drive the controller over the trace on the DES clock."""
+        trace = self.trace
+        context = self.context
+        controller.reset(context)
+        outcomes: List[EpochOutcome] = []
+
+        def step(scheduler: EventScheduler) -> None:
+            epoch = len(outcomes)
+            conditions = trace[epoch]
+            index = int(controller.decide(epoch, conditions, context))
+            if not 0 <= index < context.n_candidates:
+                raise ConfigurationError(
+                    f"controller {controller.name!r} chose candidate {index}, "
+                    f"but only {context.n_candidates} candidates exist"
+                )
+            evaluation = context.sweep(conditions)
+            latency = float(evaluation.latency_ms[index])
+            min_roi = (
+                float(evaluation.min_roi[index])
+                if evaluation.min_roi is not None
+                else None
+            )
+            outcome = EpochOutcome(
+                epoch=epoch,
+                time_ms=scheduler.now_ms,
+                index=index,
+                latency_ms=latency,
+                energy_mj=float(evaluation.energy_mj[index]),
+                quality=float(context.quality[index]),
+                deadline_missed=latency > context.deadline_ms,
+                min_roi=min_roi,
+            )
+            controller.observe(epoch, conditions, outcome)
+            outcomes.append(outcome)
+            if epoch + 1 < trace.n_epochs:
+                scheduler.schedule_in(trace.epoch_ms, step)
+
+        scheduler = EventScheduler()
+        scheduler.schedule_at(0.0, step)
+        scheduler.run(max_events=trace.n_epochs + 1)
+        return self._report(controller.name, outcomes)
+
+    def _report(self, name: str, outcomes: List[EpochOutcome]) -> AdaptationReport:
+        indices = np.asarray([o.index for o in outcomes], dtype=int)
+        latency = np.asarray([o.latency_ms for o in outcomes])
+        energy = np.asarray([o.energy_mj for o in outcomes])
+        quality = np.asarray([o.quality for o in outcomes])
+        missed = np.asarray([o.deadline_missed for o in outcomes])
+        has_aoi = outcomes[0].min_roi is not None
+        min_roi = (
+            np.asarray([o.min_roi for o in outcomes]) if has_aoi else None
+        )
+        total_energy_j = float(
+            np.sum(energy * self._frames_per_epoch[indices]) / 1e3
+        )
+        return AdaptationReport(
+            controller=name,
+            trace_name=self.trace.name,
+            objective=self.context.objective,
+            n_epochs=self.trace.n_epochs,
+            epoch_ms=self.trace.epoch_ms,
+            deadline_ms=self.context.deadline_ms,
+            chosen_indices=tuple(int(i) for i in indices),
+            latency_ms=tuple(float(v) for v in latency),
+            energy_mj=tuple(float(v) for v in energy),
+            quality=tuple(float(v) for v in quality),
+            min_roi=tuple(float(v) for v in min_roi) if min_roi is not None else None,
+            deadline_miss_rate=float(np.mean(missed)),
+            p50_latency_ms=float(np.percentile(latency, 50)),
+            p95_latency_ms=float(np.percentile(latency, 95)),
+            p99_latency_ms=float(np.percentile(latency, 99)),
+            mean_energy_mj=float(np.mean(energy)),
+            total_energy_j=total_energy_j,
+            mean_quality=float(np.mean(quality)),
+            aoi_violation_rate=(
+                float(np.mean(min_roi < 1.0)) if min_roi is not None else None
+            ),
+            switch_count=int(np.count_nonzero(np.diff(indices))) if len(indices) > 1 else 0,
+        )
+
+    # -- static references -------------------------------------------------------
+
+    def static_latency_matrix(self) -> np.ndarray:
+        """Per-epoch latency of every candidate, shape (n_epochs, n_candidates)."""
+        rows = [self.context.sweep(epoch).latency_ms for epoch in self.trace]
+        return np.vstack(rows)
+
+    def static_deadline_miss_rates(self) -> np.ndarray:
+        """Deadline-miss rate each candidate would incur if pinned for the trace."""
+        matrix = self.static_latency_matrix()
+        return np.mean(matrix > self.context.deadline_ms, axis=0)
+
+    def best_static_index(self) -> int:
+        """The static candidate with the lowest miss rate (ties: higher quality)."""
+        rates = self.static_deadline_miss_rates()
+        order = np.lexsort((np.arange(len(rates)), -self.context.quality, rates))
+        return int(order[0])
+
+    def static_report(self, index: Union[int, None] = None) -> AdaptationReport:
+        """The report a pinned candidate would achieve (best static by default)."""
+        from repro.adaptive.controllers import StaticBaseline
+
+        if index is None:
+            index = self.best_static_index()
+        return self.run(StaticBaseline(index))

@@ -8,8 +8,11 @@ Installed as ``python -m repro``.  Subcommands:
 * ``aoi``      — AoI/RoI timelines for a set of sensor frequencies,
 * ``session``  — session-level analysis (tails, battery life, thermals),
 * ``fleet``    — multi-user fleet analysis and SLO capacity planning,
-* ``bench``    — scalar-vs-batch evaluation throughput summary (optionally
-  written to a JSON baseline for the perf trajectory),
+* ``adapt``    — trace-driven runtime adaptation: replay a channel/load
+  scenario and compare controllers against the best static operating point,
+* ``bench``    — scalar-vs-batch, fleet-scale and adaptive-runtime
+  throughput summary (optionally written to a JSON baseline for the perf
+  trajectory),
 * ``tables``   — print the Table I / Table II reproductions,
 * ``validate`` — quick model-vs-simulated-testbed validation (Fig. 4 style).
 
@@ -21,11 +24,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro._version import __version__
 from repro.config.application import ApplicationConfig, ExecutionMode
-from repro.config.network import NetworkConfig, SensorConfig
+from repro.config.network import NetworkConfig
 from repro.config.workload import SweepConfig, WorkloadConfig
 from repro.core.framework import XRPerformanceModel
 from repro.core.session import SessionAnalyzer
@@ -229,6 +232,73 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    from repro.adaptive import (
+        AdaptiveRuntime,
+        EwmaPredictive,
+        GreedyBatchSweep,
+        HysteresisThreshold,
+        make_trace,
+    )
+
+    trace = make_trace(
+        args.trace, args.epochs, epoch_ms=args.epoch_ms, seed=args.seed
+    )
+    runtime = AdaptiveRuntime(
+        trace=trace,
+        device=args.device,
+        edge=args.edge,
+        deadline_ms=args.deadline_ms,
+        objective=args.objective,
+    )
+    controllers = {
+        "hysteresis": HysteresisThreshold(),
+        "greedy": GreedyBatchSweep(),
+        "ewma": EwmaPredictive(),
+    }
+    if args.controller != "all":
+        controllers = {args.controller: controllers[args.controller]}
+
+    reports = [runtime.static_report()]
+    reports.extend(runtime.run(controller) for controller in controllers.values())
+    rows = [
+        (
+            report.controller,
+            f"{report.deadline_miss_rate * 100.0:.1f}%",
+            f"{report.p95_latency_ms:.0f}",
+            f"{report.p99_latency_ms:.0f}",
+            f"{report.mean_quality:.3f}",
+            f"{report.total_energy_j:.0f}",
+            f"{report.switch_count}",
+        )
+        for report in reports
+    ]
+    print(
+        f"Adaptive runtime on {args.device} / {args.edge} — trace '{trace.name}' "
+        f"({trace.n_epochs} epochs x {trace.epoch_ms:.0f} ms, seed {args.seed}), "
+        f"deadline {args.deadline_ms:.0f} ms, objective '{args.objective}'"
+    )
+    print(
+        format_table(
+            rows,
+            headers=(
+                "controller",
+                "miss rate",
+                "p95 (ms)",
+                "p99 (ms)",
+                "quality",
+                "energy (J)",
+                "switches",
+            ),
+        )
+    )
+    print(
+        f"\n(first row: best static operating point of the "
+        f"{len(runtime.candidates)}-candidate grid, pinned for the whole trace)"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import time
@@ -315,6 +385,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "p95_latency_ms": report.p95_latency_ms,
         }
 
+    adaptive_case = None
+    if args.adaptive_epochs > 0:
+        from repro.adaptive import AdaptiveRuntime, GreedyBatchSweep, burst_trace
+
+        trace = burst_trace(args.adaptive_epochs, seed=0)
+        start = time.perf_counter()
+        runtime = AdaptiveRuntime(trace=trace, device=args.device, edge=args.edge)
+        prewarm_s = time.perf_counter() - start
+        start = time.perf_counter()
+        adaptive_report = runtime.run(GreedyBatchSweep())
+        control_s = time.perf_counter() - start
+        decisions = args.adaptive_epochs * len(runtime.candidates)
+        adaptive_case = {
+            "name": f"adaptive_{args.adaptive_epochs}",
+            "trace": trace.name,
+            "epochs": args.adaptive_epochs,
+            "candidates": len(runtime.candidates),
+            "prewarm_seconds": prewarm_s,
+            "control_seconds": control_s,
+            "seconds": prewarm_s + control_s,
+            "epochs_per_s": args.adaptive_epochs / (prewarm_s + control_s),
+            "candidate_evaluations_per_s": decisions / (prewarm_s + control_s),
+            "deadline_miss_rate": adaptive_report.deadline_miss_rate,
+            "mean_quality": adaptive_report.mean_quality,
+        }
+
     rows = [
         (
             case["name"],
@@ -332,6 +428,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"\nFleet analysis: {fleet_case['users']} users in "
             f"{fleet_case['seconds']:.2f} s ({fleet_case['users_per_s']:,.0f} users/s)"
         )
+    if adaptive_case is not None:
+        print(
+            f"\nAdaptive runtime: {adaptive_case['epochs']} epochs x "
+            f"{adaptive_case['candidates']} candidates (greedy full-grid sweep) in "
+            f"{adaptive_case['seconds']:.2f} s "
+            f"({adaptive_case['epochs_per_s']:,.0f} epochs/s, "
+            f"{adaptive_case['candidate_evaluations_per_s']:,.0f} evaluations/s)"
+        )
 
     if args.json:
         payload = {
@@ -339,6 +443,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "edge": args.edge,
             "grids": cases,
             "fleet": fleet_case,
+            "adaptive": adaptive_case,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -469,8 +574,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.set_defaults(handler=_cmd_fleet)
 
+    adapt = subparsers.add_parser(
+        "adapt", help="trace-driven runtime adaptation of operating points"
+    )
+    _add_device_arguments(adapt)
+    adapt.add_argument(
+        "--trace",
+        default="burst",
+        choices=("drift", "step", "burst", "mobility"),
+        help="bundled condition-trace scenario to replay",
+    )
+    adapt.add_argument("--epochs", type=int, default=400, help="control epochs")
+    adapt.add_argument(
+        "--epoch-ms", type=float, default=100.0, help="control epoch length"
+    )
+    adapt.add_argument("--seed", type=int, default=0, help="trace seed")
+    adapt.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=700.0,
+        help="per-frame end-to-end latency budget",
+    )
+    adapt.add_argument(
+        "--objective",
+        default="quality",
+        choices=("quality", "latency", "energy"),
+        help="what to optimise among deadline-feasible candidates",
+    )
+    adapt.add_argument(
+        "--controller",
+        default="all",
+        choices=("all", "hysteresis", "greedy", "ewma"),
+        help="controller(s) to run against the best static reference",
+    )
+    adapt.set_defaults(handler=_cmd_adapt)
+
     bench = subparsers.add_parser(
-        "bench", help="scalar-vs-batch evaluation throughput summary"
+        "bench",
+        help="scalar-vs-batch, fleet-scale and adaptive-runtime throughput summary",
     )
     _add_device_arguments(bench)
     bench.add_argument(
@@ -484,6 +625,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10_000,
         help="fleet size for the fleet-analysis timing (0 to skip)",
+    )
+    bench.add_argument(
+        "--adaptive-epochs",
+        type=int,
+        default=1000,
+        help="burst-trace epochs for the adaptive-runtime timing (0 to skip)",
     )
     bench.add_argument(
         "--json",

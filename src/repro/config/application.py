@@ -21,7 +21,6 @@ from typing import Optional, Tuple
 
 from repro import units
 from repro.config.validation import (
-    ensure_choice,
     ensure_fraction,
     ensure_non_negative,
     ensure_positive,

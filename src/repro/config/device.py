@@ -12,7 +12,7 @@ only defines the shape and validation of a specification.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 from repro.config.validation import (

@@ -9,7 +9,7 @@ and the benchmarks all consume the exact same definition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 from repro.config.validation import (

@@ -22,8 +22,8 @@ the ratio of that frequency to the required frequency is the RoI (Eq. 26).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -13,7 +13,7 @@ harness uses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.cnn.complexity import CNNComplexityModel
 from repro.exceptions import ModelDomainError

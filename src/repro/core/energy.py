@@ -10,7 +10,7 @@ segment energies the model adds the thermal conversion term ``E_theta``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.config.application import ApplicationConfig

@@ -16,7 +16,7 @@ specification dataclasses, or as runtime objects.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config.application import ApplicationConfig, ExecutionMode
 from repro.config.device import DeviceSpec, EdgeServerSpec

@@ -11,7 +11,7 @@ objective (latency, energy, or a weighted combination).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config.application import ApplicationConfig, ExecutionMode
 from repro.config.network import NetworkConfig
@@ -22,6 +22,55 @@ from repro.exceptions import ConfigurationError
 
 #: Supported ranking objectives.
 OBJECTIVES = ("latency", "energy", "weighted")
+
+
+def _with_placement(
+    app: ApplicationConfig, mode: ExecutionMode, edge_shares: Tuple[float, ...]
+) -> ApplicationConfig:
+    if mode is ExecutionMode.LOCAL:
+        inference = replace(
+            app.inference, mode=mode, omega_client=1.0, edge_shares=()
+        )
+    elif mode is ExecutionMode.REMOTE:
+        inference = replace(
+            app.inference,
+            mode=mode,
+            omega_client=0.0,
+            edge_shares=edge_shares or (app.inference.total_task,),
+        )
+    else:
+        total = app.inference.total_task
+        client_share = max(total - sum(edge_shares), 0.0)
+        inference = replace(
+            app.inference,
+            mode=mode,
+            omega_client=client_share,
+            edge_shares=edge_shares,
+        )
+    return replace(app, inference=inference)
+
+
+def placement_candidates(
+    app: ApplicationConfig, n_edge_servers: int = 1
+) -> Tuple[ApplicationConfig, ...]:
+    """The candidate placements of one application: local, remote, even split.
+
+    This is the pure derivation behind :meth:`OffloadingPlanner.candidates`;
+    it needs no models, so consumers that only want the placement variants
+    (e.g. the adaptive layer's candidate grids) can use it directly.
+    """
+    if n_edge_servers <= 0:
+        raise ConfigurationError(
+            f"n_edge_servers must be >= 1, got {n_edge_servers}"
+        )
+    total = app.inference.total_task
+    remote_shares = tuple([total / n_edge_servers] * n_edge_servers)
+    split_shares = tuple([total / (2 * n_edge_servers)] * n_edge_servers)
+    return (
+        _with_placement(app, ExecutionMode.LOCAL, ()),
+        _with_placement(app, ExecutionMode.REMOTE, remote_shares),
+        _with_placement(app, ExecutionMode.SPLIT, split_shares),
+    )
 
 
 @dataclass(frozen=True)
@@ -83,51 +132,35 @@ class OffloadingPlanner:
         self.energy_model = energy_model
         self.objective = objective
         self.latency_weight = latency_weight
+        self._candidate_cache: Dict[
+            Tuple[ApplicationConfig, int], Tuple[ApplicationConfig, ...]
+        ] = {}
 
     # -- candidate construction ------------------------------------------------------
 
-    @staticmethod
-    def _with_placement(
-        app: ApplicationConfig, mode: ExecutionMode, edge_shares: Tuple[float, ...]
-    ) -> ApplicationConfig:
-        if mode is ExecutionMode.LOCAL:
-            inference = replace(
-                app.inference, mode=mode, omega_client=1.0, edge_shares=()
-            )
-        elif mode is ExecutionMode.REMOTE:
-            inference = replace(
-                app.inference,
-                mode=mode,
-                omega_client=0.0,
-                edge_shares=edge_shares or (app.inference.total_task,),
-            )
-        else:
-            total = app.inference.total_task
-            client_share = max(total - sum(edge_shares), 0.0)
-            inference = replace(
-                app.inference,
-                mode=mode,
-                omega_client=client_share,
-                edge_shares=edge_shares,
-            )
-        return replace(app, inference=inference)
+    _with_placement = staticmethod(_with_placement)
+
+    def candidates(
+        self, app: ApplicationConfig, n_edge_servers: int = 1
+    ) -> Tuple[ApplicationConfig, ...]:
+        """The candidate placements of ``app``: local, remote, and an even split.
+
+        Memoized per planner, so repeated :meth:`rank` calls (and adaptive
+        controllers re-ranking every epoch) do not re-derive the three
+        placements each time.
+        """
+        key = (app, n_edge_servers)
+        cached = self._candidate_cache.get(key)
+        if cached is None:
+            cached = placement_candidates(app, n_edge_servers=n_edge_servers)
+            self._candidate_cache[key] = cached
+        return cached
 
     def candidate_placements(
         self, app: ApplicationConfig, n_edge_servers: int = 1
     ) -> List[ApplicationConfig]:
         """Build the candidate placements: local, remote, and an even split."""
-        if n_edge_servers <= 0:
-            raise ConfigurationError(
-                f"n_edge_servers must be >= 1, got {n_edge_servers}"
-            )
-        total = app.inference.total_task
-        remote_shares = tuple([total / n_edge_servers] * n_edge_servers)
-        split_shares = tuple([total / (2 * n_edge_servers)] * n_edge_servers)
-        return [
-            self._with_placement(app, ExecutionMode.LOCAL, ()),
-            self._with_placement(app, ExecutionMode.REMOTE, remote_shares),
-            self._with_placement(app, ExecutionMode.SPLIT, split_shares),
-        ]
+        return list(self.candidates(app, n_edge_servers=n_edge_servers))
 
     # -- scoring ------------------------------------------------------------------------
 
@@ -172,7 +205,7 @@ class OffloadingPlanner:
         batch engine cannot group them; per-candidate scalar evaluation is
         the faster path here and honours any customized energy model.
         """
-        candidates = self.candidate_placements(app, n_edge_servers=n_edge_servers)
+        candidates = self.candidates(app, n_edge_servers=n_edge_servers)
         decisions = [self.evaluate(candidate, network) for candidate in candidates]
         return sorted(decisions, key=lambda decision: decision.score)
 

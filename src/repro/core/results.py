@@ -10,7 +10,7 @@ always inspectable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Mapping, Optional
 
 from repro.config.application import ExecutionMode

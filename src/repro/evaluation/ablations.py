@@ -16,7 +16,7 @@ Each ablation returns a small result object with a ``to_text()`` rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -26,8 +26,7 @@ from repro.core.framework import XRPerformanceModel
 from repro.evaluation.metrics import (
     mean_absolute_percentage_error,
     normalized_accuracy,
-    series_accuracy,
-)
+    )
 from repro.evaluation.report import format_table
 from repro.evaluation.sweeps import SweepComparison, run_sweep_comparison
 from repro.baselines.fact import FACTModel

@@ -8,10 +8,9 @@ the comparison records both series plus the mean error the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-import numpy as np
 
 from repro.config.application import ApplicationConfig, ExecutionMode
 from repro.config.network import NetworkConfig

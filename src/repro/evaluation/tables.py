@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.cnn.zoo import list_cnns
 from repro.devices.catalog import list_devices, list_edge_servers

@@ -22,7 +22,7 @@ Three policies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.fleet.edge_scheduler import EdgeScheduler

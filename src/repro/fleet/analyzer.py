@@ -26,7 +26,6 @@ sees zero queueing, so the reported numbers equal
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config.application import ApplicationConfig, ExecutionMode

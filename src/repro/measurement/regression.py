@@ -12,7 +12,7 @@ training and held-out data, and 95% confidence intervals on the coefficients
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

@@ -17,7 +17,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.application import ApplicationConfig
 from repro.config.device import DeviceSpec, EdgeServerSpec
 from repro.config.network import NetworkConfig
 from repro.core.coefficients import CoefficientSet

@@ -11,10 +11,9 @@ baselines) against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple, Union
 
-import numpy as np
 
 from repro.config.application import ApplicationConfig, ExecutionMode
 from repro.config.device import DeviceSpec, EdgeServerSpec

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.config.application import ApplicationConfig, ExecutionMode
-from repro.config.network import NetworkConfig, SensorConfig
+from repro.config.network import NetworkConfig
 from repro.config.workload import SweepConfig, WorkloadConfig
 from repro.core.coefficients import CoefficientSet, calibrated_coefficients
 from repro.core.framework import XRPerformanceModel

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.config.application import ApplicationConfig, ExecutionMode, InferenceConfig
+from repro.config.application import ExecutionMode, InferenceConfig
 from repro.config.network import NetworkConfig
 from repro.core.framework import XRPerformanceModel
 from repro.devices.battery import Battery

@@ -1,8 +1,6 @@
 """Integration tests: the run-all harness and the example scripts."""
 
 import runpy
-import subprocess
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,6 +1,5 @@
 """Property-based tests of the AoI / RoI model."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

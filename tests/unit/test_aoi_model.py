@@ -1,10 +1,8 @@
 """Unit tests for the AoI / RoI models (Eqs. 22-26)."""
 
-import numpy as np
 import pytest
 
-from repro.config.network import NetworkConfig, SensorConfig
-from repro.config.workload import WorkloadConfig
+from repro.config.network import SensorConfig
 from repro.core.aoi import AoIModel
 from repro.exceptions import ModelDomainError
 

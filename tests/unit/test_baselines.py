@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines.fact import FACTModel
 from repro.baselines.leaf import LEAFModel
-from repro.config.application import ExecutionMode
 from repro.exceptions import ModelDomainError
 
 

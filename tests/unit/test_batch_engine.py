@@ -5,7 +5,6 @@ import pytest
 from dataclasses import replace
 
 from repro.batch import (
-    BatchResult,
     OperatingPoint,
     ParameterGrid,
     evaluate_grid,

@@ -50,24 +50,81 @@ class TestCommands:
         assert "battery" in capsys.readouterr().out
 
     def test_bench_prints_throughput_summary(self, capsys):
-        assert main(["bench", "--points", "60", "--fleet-users", "50"]) == 0
+        assert main(
+            [
+                "bench",
+                "--points", "60",
+                "--fleet-users", "50",
+                "--adaptive-epochs", "0",
+            ]
+        ) == 0
         output = capsys.readouterr().out
         assert "fig4_grid" in output
         assert "speedup" in output
         assert "Fleet analysis: 50 users" in output
+
+    def test_bench_includes_adaptive_case(self, capsys):
+        assert main(
+            [
+                "bench",
+                "--points", "0",
+                "--fleet-users", "0",
+                "--adaptive-epochs", "40",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Adaptive runtime: 40 epochs" in output
+        assert "greedy full-grid sweep" in output
 
     def test_bench_writes_json_baseline(self, tmp_path, capsys):
         import json
 
         path = tmp_path / "bench.json"
         assert main(
-            ["bench", "--points", "0", "--fleet-users", "0", "--json", str(path)]
+            [
+                "bench",
+                "--points", "0",
+                "--fleet-users", "0",
+                "--adaptive-epochs", "30",
+                "--json", str(path),
+            ]
         ) == 0
         payload = json.loads(path.read_text())
         assert payload["grids"][0]["name"] == "fig4_grid"
         assert payload["grids"][0]["points"] == 15
         assert payload["fleet"] is None
+        assert payload["adaptive"]["epochs"] == 30
+        assert payload["adaptive"]["deadline_miss_rate"] == 0.0
         assert "wrote" in capsys.readouterr().out
+
+    def test_adapt_compares_controllers_to_best_static(self, capsys):
+        assert main(["adapt", "--epochs", "50", "--trace", "burst"]) == 0
+        output = capsys.readouterr().out
+        assert "static[" in output
+        assert "hysteresis" in output
+        assert "greedy-sweep" in output
+        assert "ewma-predictive" in output
+        assert "best static operating point" in output
+
+    def test_adapt_single_controller_and_objective(self, capsys):
+        assert main(
+            [
+                "adapt",
+                "--epochs", "30",
+                "--trace", "drift",
+                "--controller", "greedy",
+                "--objective", "energy",
+                "--deadline-ms", "400",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "greedy-sweep" in output
+        assert "ewma-predictive" not in output
+        assert "objective 'energy'" in output
+
+    def test_adapt_rejects_unknown_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adapt", "--trace", "tsunami"])
 
     def test_fleet_prints_report_and_capacity(self, capsys):
         assert main(["fleet", "--device", "XR1", "--edge", "EDGE-AGX", "--users", "16"]) == 0

@@ -3,13 +3,10 @@
 import pytest
 
 from repro.config.application import ExecutionMode
-from repro.config.network import NetworkConfig
-from repro.core.coefficients import CoefficientSet
 from repro.core.energy import XREnergyModel
 from repro.core.latency import XRLatencyModel
 from repro.core.power import PowerModel
 from repro.core.segments import COMPUTE_SEGMENTS, Segment
-from repro.devices.catalog import get_device, get_edge_server
 
 
 @pytest.fixture

@@ -1,8 +1,8 @@
 """Unit tests for the extension experiments."""
 
-import pytest
 
 from repro.evaluation.extensions import (
+    adaptation_extension,
     mobility_extension,
     multi_edge_extension,
     pathloss_extension,
@@ -60,3 +60,16 @@ class TestSessionExtension:
         assert "p99 latency" in text
         assert "battery life" in text
         assert len(result.rows) == 7
+
+
+class TestAdaptationExtension:
+    def test_adaptation_extension_compares_controllers(self):
+        result = adaptation_extension(n_epochs=40, seed=5)
+        text = result.to_text()
+        assert "greedy-sweep" in text
+        assert "static[" in text
+        assert len(result.rows) == 4
+
+    def test_headline_reports_quality_lift(self):
+        result = adaptation_extension(n_epochs=40, seed=5)
+        assert "quality" in result.headline

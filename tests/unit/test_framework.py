@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.application import ExecutionMode
 from repro.config.network import NetworkConfig
 from repro.config.workload import WorkloadConfig
 from repro.core.framework import XRPerformanceModel
-from repro.devices.catalog import get_device, get_edge_server
+from repro.devices.catalog import get_device
 from repro.devices.device import XRDevice
 from repro.devices.edge_server import EdgeServer
 from repro.exceptions import ConfigurationError, UnknownDeviceError

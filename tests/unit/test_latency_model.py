@@ -3,12 +3,10 @@
 import pytest
 
 from repro import units
-from repro.config.application import ApplicationConfig, ExecutionMode
+from repro.config.application import ExecutionMode
 from repro.config.network import HandoffConfig, NetworkConfig
-from repro.core.coefficients import CoefficientSet
 from repro.core.latency import INFERENCE_RESULT_SIZE_MB, XRLatencyModel
 from repro.core.segments import Segment
-from repro.devices.catalog import get_device, get_edge_server
 from repro.exceptions import ConfigurationError, ModelDomainError
 
 

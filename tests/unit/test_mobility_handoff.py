@@ -1,6 +1,5 @@
 """Unit tests for mobility (random walk) and handoff models (Eq. 17)."""
 
-import numpy as np
 import pytest
 
 from repro.config.network import HandoffConfig
@@ -72,6 +71,93 @@ class TestRandomWalk:
     def test_start_zone_must_exist(self):
         with pytest.raises(ConfigurationError):
             RandomWalkMobility(layout=CoverageLayout(rows=2, cols=2), start_zone=(9, 9))
+
+
+class TestZeroVelocityWalks:
+    def test_zero_velocity_walk_never_moves(self, rng):
+        mobility = RandomWalkMobility(layout=CoverageLayout(), speed_m_per_s=0.0)
+        trace = mobility.walk(n_steps=500, step_interval_ms=33.0, rng=rng)
+        assert trace.n_handoffs == 0
+        assert trace.n_vertical_handoffs == 0
+        assert set(trace.zones) == {mobility.start_zone}
+        assert trace.empirical_handoff_probability == 0.0
+
+    def test_zero_velocity_expected_handoffs_are_zero(self):
+        mobility = RandomWalkMobility(layout=CoverageLayout(), speed_m_per_s=0.0)
+        assert mobility.expected_handoffs(10_000.0, 33.0) == 0.0
+
+    def test_always_paused_walk_never_moves(self, rng):
+        mobility = RandomWalkMobility(
+            layout=CoverageLayout(), speed_m_per_s=10.0, pause_probability=1.0
+        )
+        assert mobility.handoff_probability(100.0) == 0.0
+        trace = mobility.walk(n_steps=200, step_interval_ms=100.0, rng=rng)
+        assert trace.n_handoffs == 0
+
+
+class TestSingleZoneLayouts:
+    def test_single_zone_has_no_neighbors(self):
+        layout = CoverageLayout(rows=1, cols=1)
+        assert layout.n_zones == 1
+        assert layout.neighbors((0, 0)) == []
+        assert layout.vertical_neighbor_fraction((0, 0)) == 0.0
+
+    def test_walk_on_single_zone_stays_put(self, rng):
+        layout = CoverageLayout(rows=1, cols=1)
+        mobility = RandomWalkMobility(
+            layout=layout, speed_m_per_s=50.0, pause_probability=0.0
+        )
+        trace = mobility.walk(n_steps=300, step_interval_ms=100.0, rng=rng)
+        assert trace.n_handoffs == 0
+        assert trace.zone_occupancy() == {(0, 0): len(trace.zones)}
+
+    def test_single_zone_analytical_probability_is_still_defined(self):
+        # The fluid-flow boundary-crossing rate does not know the graph has
+        # nowhere to go; it only depends on speed and cell radius.
+        layout = CoverageLayout(rows=1, cols=1, cell_radius_m=25.0)
+        mobility = RandomWalkMobility(layout=layout, speed_m_per_s=1.4)
+        assert 0.0 < mobility.handoff_probability(100.0) < 1.0
+
+    def test_handoff_model_on_single_zone_layout(self):
+        layout = CoverageLayout(rows=1, cols=1)
+        mobility = RandomWalkMobility(layout=layout, speed_m_per_s=0.0)
+        model = HandoffModel(HandoffConfig(enabled=True), mobility=mobility)
+        assert model.mean_handoff_latency_ms(33.3) == 0.0
+
+
+class TestDegenerateGraphClassification:
+    def test_single_row_alternating_technologies_all_vertical(self):
+        layout = CoverageLayout(rows=1, cols=5, technologies=("a", "b"))
+        for col in range(4):
+            assert layout.is_vertical_transition((0, col), (0, col + 1))
+        assert layout.vertical_neighbor_fraction((0, 2)) == 1.0
+
+    def test_single_row_single_technology_all_horizontal(self):
+        layout = CoverageLayout(rows=1, cols=5, technologies=("wifi",))
+        for col in range(4):
+            assert not layout.is_vertical_transition((0, col), (0, col + 1))
+        assert layout.vertical_neighbor_fraction((0, 2)) == 0.0
+
+    def test_more_technologies_than_zones(self):
+        layout = CoverageLayout(rows=1, cols=2, technologies=("a", "b", "c", "d"))
+        assert layout.technology_of((0, 0)) == "a"
+        assert layout.technology_of((0, 1)) == "b"
+        assert layout.is_vertical_transition((0, 0), (0, 1))
+
+    def test_column_graph_classifies_like_row_graph(self):
+        row = CoverageLayout(rows=1, cols=4, technologies=("a", "b"))
+        col = CoverageLayout(rows=4, cols=1, technologies=("a", "b"))
+        assert row.vertical_neighbor_fraction((0, 1)) == col.vertical_neighbor_fraction((1, 0))
+
+    def test_walk_classifies_vertical_handoffs(self, rng):
+        layout = CoverageLayout(rows=1, cols=6, technologies=("a", "b"))
+        mobility = RandomWalkMobility(
+            layout=layout, speed_m_per_s=50.0, pause_probability=0.0
+        )
+        trace = mobility.walk(n_steps=400, step_interval_ms=200.0, rng=rng)
+        # Every move in an alternating 1xN corridor crosses technologies.
+        assert trace.n_handoffs > 0
+        assert trace.n_vertical_handoffs == trace.n_handoffs
 
 
 class TestHandoffLatency:

@@ -5,7 +5,7 @@ import pytest
 from repro.config.application import ExecutionMode
 from repro.core.energy import XREnergyModel
 from repro.core.latency import XRLatencyModel
-from repro.core.offloading import OffloadingPlanner
+from repro.core.offloading import OffloadingPlanner, placement_candidates
 from repro.core.power import PowerModel
 from repro.exceptions import ConfigurationError
 
@@ -31,6 +31,26 @@ class TestCandidates:
     def test_invalid_edge_count_rejected(self, planner, app):
         with pytest.raises(ConfigurationError):
             planner.candidate_placements(app, n_edge_servers=0)
+
+    def test_candidates_accessor_is_memoized(self, planner, app):
+        first = planner.candidates(app)
+        assert planner.candidates(app) is first
+        assert planner.candidates(app, n_edge_servers=2) is not first
+
+    def test_candidates_accessor_matches_module_level_derivation(self, planner, app):
+        assert planner.candidates(app, n_edge_servers=2) == placement_candidates(
+            app, n_edge_servers=2
+        )
+
+    def test_candidates_accessor_does_not_change_ranking(self, planner, app, network):
+        """rank() through the accessor is identical to per-candidate evaluation."""
+        ranked = planner.rank(app, network)
+        rescored = sorted(
+            (planner.evaluate(candidate, network) for candidate in planner.candidates(app)),
+            key=lambda decision: decision.score,
+        )
+        assert [d.mode for d in ranked] == [d.mode for d in rescored]
+        assert [d.score for d in ranked] == [d.score for d in rescored]
 
 
 class TestRanking:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config.application import ExecutionMode
 from repro.core.segments import Segment
 from repro.devices.catalog import get_device, get_edge_server
 from repro.measurement.truth import TestbedTruth

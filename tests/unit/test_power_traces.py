@@ -1,6 +1,5 @@
 """Unit tests for Monsoon-style power trace rendering."""
 
-import numpy as np
 import pytest
 
 from repro.measurement.power_traces import PowerTrace, SegmentDraw, render_power_trace

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.config.application import ApplicationConfig
-from repro.config.network import NetworkConfig
 from repro.core.coefficients import CoefficientSet
 from repro.core.power import PowerModel
 from repro.core.resources import ComputeResourceModel

@@ -7,7 +7,7 @@ from repro import units
 from repro.config.network import NetworkConfig, SensorConfig
 from repro.exceptions import UnstableQueueError
 from repro.queueing.mm1 import MM1Queue
-from repro.sensors.buffer import BufferDelays, InputBuffer
+from repro.sensors.buffer import InputBuffer
 from repro.sensors.generators import generation_times_for_requests
 from repro.sensors.sensor import ExternalSensor
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.config.application import ExecutionMode
-from repro.config.workload import SweepConfig
 from repro.evaluation.figures import (
     FigureContext,
     figure_4a,

@@ -3,10 +3,8 @@
 import pytest
 
 from repro.config.application import ExecutionMode
-from repro.config.workload import SweepConfig
 from repro.core.coefficients import CoefficientSet
 from repro.core.segments import Segment
-from repro.measurement.truth import TestbedTruth
 from repro.simulation.testbed import SimulatedTestbed, truth_coefficients
 
 

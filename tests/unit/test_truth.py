@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import ModelDomainError
-from repro.measurement.truth import DEVICE_FACTORS, SEGMENT_POWER_FACTORS, TestbedTruth
+from repro.measurement.truth import DEVICE_FACTORS, SEGMENT_POWER_FACTORS
 
 
 class TestComputeCapability:

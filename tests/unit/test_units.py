@@ -1,6 +1,5 @@
 """Unit tests for :mod:`repro.units`."""
 
-import math
 
 import pytest
 
