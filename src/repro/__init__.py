@@ -28,7 +28,13 @@ Networks"* (Mallik, Xie, Han — ICDCS 2024).  The package provides:
 * a trace-driven adaptation layer that replays time-varying channel/load
   conditions (mobility handoffs, fading, fleet contention, synthetic
   drift/step/burst scenarios) and re-picks the operating point each control
-  epoch with pluggable controllers (:mod:`repro.adaptive`).
+  epoch with pluggable controllers (:mod:`repro.adaptive`),
+* a closed-loop co-simulation that composes the three: every fleet user
+  runs an adaptive controller while the shared-channel contention and edge
+  queueing are recomputed from the controllers' own placement decisions
+  each epoch — per-epoch best-response iteration to a fixed point, with
+  equivalence-class batching and optional process-pool sharding
+  (:mod:`repro.cosim`).
 
 Quickstart::
 
@@ -92,11 +98,19 @@ from repro.devices import XRDevice, EdgeServer, get_device, get_edge_server
 from repro.cnn import CNNModel, get_cnn, list_cnns
 from repro.fleet import (
     CapacityPlan,
+    EdgePlan,
     FleetAnalyzer,
     FleetPopulation,
     FleetReport,
     UserProfile,
     plan_capacity,
+    plan_edges,
+)
+from repro.cosim import (
+    CoSimulation,
+    CosimReport,
+    ShardedCosimReport,
+    run_cosim,
 )
 
 __all__ = [
@@ -114,9 +128,12 @@ __all__ = [
     "StaticBaseline",
     "CNNModel",
     "CapacityPlan",
+    "CoSimulation",
     "CoefficientSet",
     "CooperationConfig",
+    "CosimReport",
     "DeviceSpec",
+    "EdgePlan",
     "EdgeServer",
     "EdgeServerSpec",
     "EncoderConfig",
@@ -137,6 +154,7 @@ __all__ = [
     "SensorConfig",
     "SessionAnalyzer",
     "SessionReport",
+    "ShardedCosimReport",
     "SweepConfig",
     "UserProfile",
     "WorkloadConfig",
@@ -153,5 +171,7 @@ __all__ = [
     "list_cnns",
     "make_trace",
     "plan_capacity",
+    "plan_edges",
+    "run_cosim",
     "__version__",
 ]

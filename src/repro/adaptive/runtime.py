@@ -216,16 +216,22 @@ class ControlContext:
 
     @staticmethod
     def _key(conditions: EpochConditions) -> Tuple[float, float]:
+        """Sweep-memo key: the *exact* (throughput, handoff) pair.
+
+        Bundled trace generators quantize the handoff probability to the
+        coarse 0.005 grid of :data:`repro.adaptive.traces
+        .HANDOFF_PROBABILITY_STEP` (that is a batching optimisation — fewer
+        distinct values mean fewer groups per pre-warm call), but the key
+        deliberately does **not** re-quantize: hand-built or co-sim-generated
+        conditions that fall off that grid get their own memo entry instead
+        of silently aliasing a neighbouring grid point's arrays.
+        """
         return (float(conditions.throughput_mbps), float(conditions.handoff_probability))
 
     # -- evaluation ------------------------------------------------------------
 
-    def sweep(self, conditions: EpochConditions) -> CandidateEvaluation:
-        """Evaluate every candidate under the given conditions (memoized)."""
-        key = self._key(conditions)
-        cached = self._memo.get(key)
-        if cached is not None:
-            return cached
+    def _evaluate(self, conditions: EpochConditions) -> CandidateEvaluation:
+        """Evaluate every candidate under ``conditions`` (no memoization)."""
         points = [self._conditioned_point(p, conditions) for p in self.candidates]
         result = evaluate_points(
             points,
@@ -233,11 +239,26 @@ class ControlContext:
             complexity_mode=self.complexity_mode,
             include_aoi=self.include_aoi,
         )
-        evaluation = CandidateEvaluation(
+        return CandidateEvaluation(
             latency_ms=result.total_latency_ms,
             energy_mj=result.total_energy_mj,
             min_roi=_min_roi_array(result),
         )
+
+    def sweep(self, conditions: EpochConditions) -> CandidateEvaluation:
+        """Evaluate every candidate under the given conditions (memoized).
+
+        Conditions that were never pre-warmed — e.g. hand-built
+        :class:`EpochConditions` or co-sim-generated conditions whose
+        handoff probability falls off the 0.005 trace grid — fall back to a
+        live batched sweep here rather than raising or reusing a nearby
+        cached entry.
+        """
+        key = self._key(conditions)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        evaluation = self._evaluate(conditions)
         self._memo[key] = evaluation
         return evaluation
 
@@ -404,6 +425,58 @@ class AdaptationReport:
         }
 
 
+def build_adaptation_report(
+    controller_name: str,
+    trace: ConditionTrace,
+    context: ControlContext,
+    frames_per_epoch: np.ndarray,
+    outcomes: Sequence[EpochOutcome],
+) -> AdaptationReport:
+    """Aggregate per-epoch outcomes into an :class:`AdaptationReport`.
+
+    Shared by :meth:`AdaptiveRuntime.run` and the closed-loop co-simulation
+    (:mod:`repro.cosim`), which is what lets a single-user co-sim report
+    equal the single-user runtime's report field for field.
+    """
+    indices = np.asarray([o.index for o in outcomes], dtype=int)
+    latency = np.asarray([o.latency_ms for o in outcomes])
+    energy = np.asarray([o.energy_mj for o in outcomes])
+    quality = np.asarray([o.quality for o in outcomes])
+    missed = np.asarray([o.deadline_missed for o in outcomes])
+    has_aoi = outcomes[0].min_roi is not None
+    min_roi = np.asarray([o.min_roi for o in outcomes]) if has_aoi else None
+    total_energy_j = float(np.sum(energy * frames_per_epoch[indices]) / 1e3)
+    # Single-user epochs are always finite (the closed forms have no
+    # queueing), but co-sim classes on a saturated edge report infinite
+    # latencies; order statistics avoid the inf - inf = nan of linear
+    # interpolation there, exactly like FleetReport.
+    method = "linear" if np.isfinite(latency).all() else "lower"
+    return AdaptationReport(
+        controller=controller_name,
+        trace_name=trace.name,
+        objective=context.objective,
+        n_epochs=trace.n_epochs,
+        epoch_ms=trace.epoch_ms,
+        deadline_ms=context.deadline_ms,
+        chosen_indices=tuple(int(i) for i in indices),
+        latency_ms=tuple(float(v) for v in latency),
+        energy_mj=tuple(float(v) for v in energy),
+        quality=tuple(float(v) for v in quality),
+        min_roi=tuple(float(v) for v in min_roi) if min_roi is not None else None,
+        deadline_miss_rate=float(np.mean(missed)),
+        p50_latency_ms=float(np.percentile(latency, 50, method=method)),
+        p95_latency_ms=float(np.percentile(latency, 95, method=method)),
+        p99_latency_ms=float(np.percentile(latency, 99, method=method)),
+        mean_energy_mj=float(np.mean(energy)),
+        total_energy_j=total_energy_j,
+        mean_quality=float(np.mean(quality)),
+        aoi_violation_rate=(
+            float(np.mean(min_roi < 1.0)) if min_roi is not None else None
+        ),
+        switch_count=int(np.count_nonzero(np.diff(indices))) if len(indices) > 1 else 0,
+    )
+
+
 class AdaptiveRuntime:
     """Replay a condition trace against a controller and report the QoE.
 
@@ -515,41 +588,8 @@ class AdaptiveRuntime:
         return self._report(controller.name, outcomes)
 
     def _report(self, name: str, outcomes: List[EpochOutcome]) -> AdaptationReport:
-        indices = np.asarray([o.index for o in outcomes], dtype=int)
-        latency = np.asarray([o.latency_ms for o in outcomes])
-        energy = np.asarray([o.energy_mj for o in outcomes])
-        quality = np.asarray([o.quality for o in outcomes])
-        missed = np.asarray([o.deadline_missed for o in outcomes])
-        has_aoi = outcomes[0].min_roi is not None
-        min_roi = (
-            np.asarray([o.min_roi for o in outcomes]) if has_aoi else None
-        )
-        total_energy_j = float(
-            np.sum(energy * self._frames_per_epoch[indices]) / 1e3
-        )
-        return AdaptationReport(
-            controller=name,
-            trace_name=self.trace.name,
-            objective=self.context.objective,
-            n_epochs=self.trace.n_epochs,
-            epoch_ms=self.trace.epoch_ms,
-            deadline_ms=self.context.deadline_ms,
-            chosen_indices=tuple(int(i) for i in indices),
-            latency_ms=tuple(float(v) for v in latency),
-            energy_mj=tuple(float(v) for v in energy),
-            quality=tuple(float(v) for v in quality),
-            min_roi=tuple(float(v) for v in min_roi) if min_roi is not None else None,
-            deadline_miss_rate=float(np.mean(missed)),
-            p50_latency_ms=float(np.percentile(latency, 50)),
-            p95_latency_ms=float(np.percentile(latency, 95)),
-            p99_latency_ms=float(np.percentile(latency, 99)),
-            mean_energy_mj=float(np.mean(energy)),
-            total_energy_j=total_energy_j,
-            mean_quality=float(np.mean(quality)),
-            aoi_violation_rate=(
-                float(np.mean(min_roi < 1.0)) if min_roi is not None else None
-            ),
-            switch_count=int(np.count_nonzero(np.diff(indices))) if len(indices) > 1 else 0,
+        return build_adaptation_report(
+            name, self.trace, self.context, self._frames_per_epoch, outcomes
         )
 
     # -- static references -------------------------------------------------------

@@ -10,7 +10,10 @@ Installed as ``python -m repro``.  Subcommands:
 * ``fleet``    — multi-user fleet analysis and SLO capacity planning,
 * ``adapt``    — trace-driven runtime adaptation: replay a channel/load
   scenario and compare controllers against the best static operating point,
-* ``bench``    — scalar-vs-batch, fleet-scale and adaptive-runtime
+* ``cosim``    — closed-loop co-simulation: every fleet user runs an
+  adaptive controller while contention and edge queueing feed back from the
+  fleet's own placement decisions each epoch,
+* ``bench``    — scalar-vs-batch, fleet-scale, adaptive-runtime and co-sim
   throughput summary (optionally written to a JSON baseline for the perf
   trajectory),
 * ``tables``   — print the Table I / Table II reproductions,
@@ -299,6 +302,48 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cosim(args: argparse.Namespace) -> int:
+    from repro.adaptive import (
+        EwmaPredictive,
+        GreedyBatchSweep,
+        HysteresisThreshold,
+        make_trace,
+    )
+    from repro.cosim import run_cosim
+    from repro.fleet import homogeneous
+
+    trace = make_trace(args.trace, args.epochs, epoch_ms=args.epoch_ms, seed=args.seed)
+    controllers = {
+        "hysteresis": HysteresisThreshold,
+        "greedy": GreedyBatchSweep,
+        "ewma": EwmaPredictive,
+    }
+    controller = controllers[args.controller]()
+    population = homogeneous(args.users, device=args.device)
+    report = run_cosim(
+        population,
+        controller,
+        trace,
+        n_shards=args.shards,
+        edge=args.edge,
+        n_edges=args.edge_servers,
+        deadline_ms=args.deadline_ms,
+        objective=args.objective,
+        include_aoi=False,
+        max_iterations=args.max_iterations,
+        damping=args.damping,
+    )
+    print(
+        f"Closed-loop co-simulation — {args.users} users on {args.device}, "
+        f"{args.edge_servers}x {args.edge}"
+        f"{f' per cell x {args.shards} cells' if args.shards > 1 else ''}, "
+        f"controller '{args.controller}', trace '{trace.name}' "
+        f"({trace.n_epochs} epochs x {trace.epoch_ms:.0f} ms, seed {args.seed})"
+    )
+    print(report.summary())
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import time
@@ -411,6 +456,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "mean_quality": adaptive_report.mean_quality,
         }
 
+    cosim_case = None
+    if args.cosim_users > 0 and args.cosim_epochs > 0:
+        from repro.adaptive import GreedyBatchSweep, step_trace
+        from repro.cosim import CoSimulation
+        from repro.fleet import homogeneous
+
+        trace = step_trace(args.cosim_epochs, seed=11)
+        start = time.perf_counter()
+        cosim_report = CoSimulation(
+            homogeneous(args.cosim_users, device=args.device),
+            GreedyBatchSweep(),
+            trace,
+            edge=args.edge,
+            n_edges=8,
+            include_aoi=False,
+        ).run()
+        cosim_s = time.perf_counter() - start
+        user_epochs = args.cosim_users * args.cosim_epochs
+        cosim_case = {
+            "name": f"cosim_{args.cosim_users}x{args.cosim_epochs}",
+            "users": args.cosim_users,
+            "epochs": args.cosim_epochs,
+            "trace": trace.name,
+            "seconds": cosim_s,
+            "user_epochs_per_s": user_epochs / cosim_s,
+            "deadline_miss_rate": cosim_report.deadline_miss_rate,
+            "mean_offload_fraction": cosim_report.mean_offload_fraction,
+            "unconverged_epochs": cosim_report.n_unconverged_epochs,
+        }
+
     rows = [
         (
             case["name"],
@@ -437,6 +512,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{adaptive_case['candidate_evaluations_per_s']:,.0f} evaluations/s)"
         )
 
+    if cosim_case is not None:
+        print(
+            f"\nCo-simulation: {cosim_case['users']} users x "
+            f"{cosim_case['epochs']} epochs (closed loop) in "
+            f"{cosim_case['seconds']:.2f} s "
+            f"({cosim_case['user_epochs_per_s']:,.0f} user-epochs/s, "
+            f"{cosim_case['unconverged_epochs']} unconverged epochs)"
+        )
+
     if args.json:
         payload = {
             "device": args.device,
@@ -444,6 +528,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "grids": cases,
             "fleet": fleet_case,
             "adaptive": adaptive_case,
+            "cosim": cosim_case,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -609,9 +694,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     adapt.set_defaults(handler=_cmd_adapt)
 
+    cosim = subparsers.add_parser(
+        "cosim",
+        help="closed-loop co-simulation of an adaptive multi-user fleet",
+    )
+    _add_device_arguments(cosim)
+    cosim.add_argument("--users", type=int, default=64, help="fleet size")
+    cosim.add_argument(
+        "--trace",
+        default="burst",
+        choices=("drift", "step", "burst", "mobility"),
+        help="exogenous (per-user) condition-trace scenario",
+    )
+    cosim.add_argument("--epochs", type=int, default=200, help="control epochs")
+    cosim.add_argument(
+        "--epoch-ms", type=float, default=100.0, help="control epoch length"
+    )
+    cosim.add_argument("--seed", type=int, default=0, help="trace seed")
+    cosim.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=700.0,
+        help="per-frame end-to-end latency budget",
+    )
+    cosim.add_argument(
+        "--objective",
+        default="quality",
+        choices=("quality", "latency", "energy"),
+        help="what to optimise among deadline-feasible candidates",
+    )
+    cosim.add_argument(
+        "--controller",
+        default="hysteresis",
+        choices=("hysteresis", "greedy", "ewma"),
+        help="adaptive controller every user runs",
+    )
+    cosim.add_argument("--edge-servers", type=int, default=1)
+    cosim.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="independent cells the fleet is split into (process pool)",
+    )
+    cosim.add_argument(
+        "--max-iterations",
+        type=int,
+        default=8,
+        help="per-epoch best-response iteration budget",
+    )
+    cosim.add_argument(
+        "--damping",
+        type=float,
+        default=0.5,
+        help="relaxation factor on the endogenous conditions between iterations",
+    )
+    cosim.set_defaults(handler=_cmd_cosim)
+
     bench = subparsers.add_parser(
         "bench",
-        help="scalar-vs-batch, fleet-scale and adaptive-runtime throughput summary",
+        help="scalar-vs-batch, fleet-scale, adaptive-runtime and co-sim "
+        "throughput summary",
     )
     _add_device_arguments(bench)
     bench.add_argument(
@@ -631,6 +773,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1000,
         help="burst-trace epochs for the adaptive-runtime timing (0 to skip)",
+    )
+    bench.add_argument(
+        "--cosim-users",
+        type=int,
+        default=0,
+        help="fleet size for the closed-loop co-sim timing (0 to skip)",
+    )
+    bench.add_argument(
+        "--cosim-epochs",
+        type=int,
+        default=500,
+        help="epochs for the closed-loop co-sim timing",
     )
     bench.add_argument(
         "--json",

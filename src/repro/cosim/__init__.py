@@ -1,0 +1,43 @@
+"""repro.cosim — closed-loop fleet x adaptive co-simulation.
+
+Composes the three layers PRs 1–3 built in isolation: every user of a
+:class:`~repro.fleet.population.FleetPopulation` runs an adaptive
+:class:`~repro.adaptive.controllers.Controller`, while the shared Wi-Fi
+contention and edge GPU queueing are recomputed from the controllers' own
+placement decisions each control epoch (bounded, damped best-response
+iteration to a per-epoch fixed point).  Users are grouped into
+``(device, app, controller, trace)`` equivalence classes so fleet size
+costs NumPy arithmetic, not controller work.
+
+Quickstart::
+
+    from repro.cosim import CoSimulation
+    from repro.adaptive import GreedyBatchSweep, step_trace
+    from repro.fleet import homogeneous
+
+    sim = CoSimulation(
+        population=homogeneous(1000, device="XR1"),
+        controller=GreedyBatchSweep(),
+        trace=step_trace(200, seed=7),
+    )
+    print(sim.run().summary())
+"""
+
+from repro.cosim.engine import (
+    ControllerLike,
+    CoSimulation,
+    CosimControlContext,
+    TraceLike,
+    run_cosim,
+)
+from repro.cosim.results import CosimReport, ShardedCosimReport
+
+__all__ = [
+    "CoSimulation",
+    "CosimControlContext",
+    "CosimReport",
+    "ControllerLike",
+    "ShardedCosimReport",
+    "TraceLike",
+    "run_cosim",
+]

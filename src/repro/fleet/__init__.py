@@ -30,7 +30,7 @@ from repro.fleet.admission import (
     UserCandidate,
 )
 from repro.fleet.analyzer import FleetAnalyzer
-from repro.fleet.capacity import CapacityPlan, plan_capacity
+from repro.fleet.capacity import CapacityPlan, EdgePlan, plan_capacity, plan_edges
 from repro.fleet.search import bisect_capacity
 from repro.fleet.contention import ContentionModel
 from repro.fleet.edge_scheduler import EdgeScheduler
@@ -49,6 +49,7 @@ __all__ = [
     "AdmissionPolicy",
     "CapacityPlan",
     "ContentionModel",
+    "EdgePlan",
     "EdgeScheduler",
     "EnergyAwareAdmission",
     "FleetAnalyzer",
@@ -66,5 +67,6 @@ __all__ = [
     "mixed_devices",
     "mixed_workloads",
     "plan_capacity",
+    "plan_edges",
     "with_mode",
 ]

@@ -247,6 +247,7 @@ def plan_capacity(
     policy: Optional[AdmissionPolicy] = None,
     contention: Optional[ContentionModel] = None,
     scheduler: Optional[EdgeScheduler] = None,
+    require_feasible: bool = False,
 ) -> CapacityPlan:
     """Maximum SLO-feasible fleet size for one device/edge/CNN combination.
 
@@ -256,12 +257,27 @@ def plan_capacity(
     infrastructure's raw capacity rather than an admission policy's gating —
     and lets every bisection probe run through the O(n_edges) vectorized
     probe instead of an O(n) per-user analysis.
+
+    With ``require_feasible=True`` an SLO that not even a single user can
+    meet raises a :class:`~repro.exceptions.ConfigurationError` instead of
+    returning a zero-capacity plan — callers that would otherwise build on
+    ``max_users == 0`` (capacity-driven deployment sizing, the co-sim CLI)
+    get a clear terminal error rather than a bogus plan.
     """
     if slo_ms <= 0.0:
         raise ConfigurationError(f"SLO must be > 0 ms, got {slo_ms}")
     shared_coefficients = (
         coefficients if coefficients is not None else CoefficientSet.paper()
     )
+
+    def _checked(plan: CapacityPlan) -> CapacityPlan:
+        if require_feasible and not plan.feasible:
+            raise ConfigurationError(
+                f"SLO of {slo_ms:.1f} ms p95 is unmeetable on {device}: even a "
+                f"single user misses it (raise the SLO, change the operating "
+                f"point, or use plan_edges to size the edge tier)"
+            )
+        return plan
 
     if policy is None or type(policy) is RoundRobinAdmission:
         probe = _HomogeneousRoundRobinProbe(
@@ -280,13 +296,15 @@ def plan_capacity(
 
         capacity, ceiling_reached, evaluations = bisect_capacity(feasible, max_users)
         p95 = probe.p95_latency_ms(capacity) if capacity >= 1 else None
-        return CapacityPlan(
-            slo_ms=slo_ms,
-            max_users=capacity,
-            p95_at_capacity_ms=p95,
-            search_ceiling=max_users,
-            ceiling_reached=ceiling_reached,
-            evaluations=evaluations,
+        return _checked(
+            CapacityPlan(
+                slo_ms=slo_ms,
+                max_users=capacity,
+                p95_at_capacity_ms=p95,
+                search_ceiling=max_users,
+                ceiling_reached=ceiling_reached,
+                evaluations=evaluations,
+            )
         )
 
     # Custom admission policy: fall back to exhaustive fleet analyses.
@@ -317,11 +335,121 @@ def plan_capacity(
 
     capacity, ceiling_reached, evaluations = bisect_capacity(feasible, max_users)
     p95 = report_for(capacity).p95_latency_ms if capacity >= 1 else None
-    return CapacityPlan(
+    return _checked(
+        CapacityPlan(
+            slo_ms=slo_ms,
+            max_users=capacity,
+            p95_at_capacity_ms=p95,
+            search_ceiling=max_users,
+            ceiling_reached=ceiling_reached,
+            evaluations=evaluations,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class EdgePlan:
+    """Result of an SLO-constrained edge-count search.
+
+    Attributes:
+        slo_ms: the p95 motion-to-photon latency budget.
+        n_users: the fleet size the edge tier was sized for.
+        n_edges: smallest edge-server count meeting the SLO.
+        p95_ms: fleet p95 latency at ``n_edges``.
+        evaluations: number of fleet probes the search performed.
+    """
+
+    slo_ms: float
+    n_users: int
+    n_edges: int
+    p95_ms: float
+    evaluations: int
+
+    def summary(self) -> str:
+        """One-line text summary."""
+        return (
+            f"Edge plan: {self.n_edges} edge server(s) serve {self.n_users} users "
+            f"within the {self.slo_ms:.0f} ms p95 SLO "
+            f"(p95: {self.p95_ms:.1f} ms, {self.evaluations} fleets evaluated)."
+        )
+
+
+def plan_edges(
+    device: str = "XR1",
+    edge: Union[str, EdgeServerSpec] = "EDGE-AGX",
+    n_users: int = 64,
+    slo_ms: float = 100.0,
+    app: Optional[ApplicationConfig] = None,
+    network: Optional[NetworkConfig] = None,
+    max_edges: int = 64,
+    coefficients: Optional[CoefficientSet] = None,
+    contention: Optional[ContentionModel] = None,
+    scheduler: Optional[EdgeScheduler] = None,
+) -> EdgePlan:
+    """Smallest edge-server count serving ``n_users`` within the SLO.
+
+    The inverse question of :func:`plan_capacity`: instead of asking how
+    many users a fixed deployment supports, size the edge tier for a fixed
+    fleet.  Adding edge servers only dilutes each server's tenant load (the
+    shared channel is unaffected), so the fleet p95 is non-increasing in the
+    edge count and a bisection over ``[1, max_edges]`` finds the boundary.
+
+    Raises:
+        ConfigurationError: when the SLO is unmeetable even at ``max_edges``
+            — the binding constraint is then the contended channel or the
+            per-frame compute itself, which no amount of edge servers fixes.
+            The search always terminates: ``max_edges`` is probed first, so
+            an unmeetable SLO costs exactly one evaluation.
+    """
+    if slo_ms <= 0.0:
+        raise ConfigurationError(f"SLO must be > 0 ms, got {slo_ms}")
+    if n_users < 1:
+        raise ConfigurationError(f"n_users must be >= 1, got {n_users}")
+    if max_edges < 1:
+        raise ConfigurationError(f"max_edges must be >= 1, got {max_edges}")
+    shared_coefficients = (
+        coefficients if coefficients is not None else CoefficientSet.paper()
+    )
+    p95_cache: Dict[int, float] = {}
+
+    def p95_for(count: int) -> float:
+        cached = p95_cache.get(count)
+        if cached is None:
+            probe = _HomogeneousRoundRobinProbe(
+                device=device,
+                edge=edge,
+                n_edges=count,
+                app=app,
+                network=network,
+                coefficients=shared_coefficients,
+                contention=contention,
+                scheduler=scheduler,
+            )
+            cached = probe.p95_latency_ms(n_users)
+            p95_cache[count] = cached
+        return cached
+
+    # Probe the ceiling first: if the SLO cannot be met with every edge
+    # server available, no smaller count can meet it either and the search
+    # must fail loudly instead of returning a bogus plan.
+    if p95_for(max_edges) > slo_ms:
+        raise ConfigurationError(
+            f"SLO of {slo_ms:.1f} ms p95 is unmeetable for {n_users} users on "
+            f"{device} even with {max_edges} edge server(s) "
+            f"(p95 {p95_for(max_edges):.1f} ms): the contended channel or the "
+            f"per-frame compute is binding, not the edge count"
+        )
+    low, high = 0, max_edges  # p95(low) > slo (sentinel), p95(high) <= slo
+    while high - low > 1:
+        mid = (low + high) // 2
+        if p95_for(mid) <= slo_ms:
+            high = mid
+        else:
+            low = mid
+    return EdgePlan(
         slo_ms=slo_ms,
-        max_users=capacity,
-        p95_at_capacity_ms=p95,
-        search_ceiling=max_users,
-        ceiling_reached=ceiling_reached,
-        evaluations=evaluations,
+        n_users=n_users,
+        n_edges=high,
+        p95_ms=p95_for(high),
+        evaluations=len(p95_cache),
     )

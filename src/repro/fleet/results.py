@@ -9,6 +9,7 @@ and energy totals a capacity planner consumes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -92,9 +93,27 @@ class FleetReport:
         edge_utilizations: Sequence[float] = (),
         slo_ms: Optional[float] = None,
     ) -> "FleetReport":
-        """Aggregate per-user outcomes into a fleet report."""
+        """Aggregate per-user outcomes into a fleet report.
+
+        An empty outcome sequence (e.g. admission rejected every user, or an
+        all-rejected subset is being summarised) yields a well-defined report
+        with NaN percentiles rather than an exception from inside NumPy's
+        percentile machinery; ``meets_slo`` is False for such a report
+        because no latency evidence exists to show the SLO is met.
+        """
         if not outcomes:
-            raise ValueError("a fleet report needs at least one user outcome")
+            return cls(
+                outcomes=(),
+                p50_latency_ms=math.nan,
+                p95_latency_ms=math.nan,
+                p99_latency_ms=math.nan,
+                mean_latency_ms=math.nan,
+                total_energy_mj=0.0,
+                mean_energy_mj=math.nan,
+                edge_utilizations=tuple(float(rho) for rho in edge_utilizations),
+                slo_ms=slo_ms,
+                slo_violations=0,
+            )
         latencies = np.asarray([outcome.latency_ms for outcome in outcomes], dtype=float)
         energies = np.asarray([outcome.energy_mj for outcome in outcomes], dtype=float)
         # An overloaded edge yields infinite latencies; linear interpolation
@@ -147,7 +166,11 @@ class FleetReport:
         return all(rho < 1.0 for rho in self.edge_utilizations)
 
     def meets_slo(self, slo_ms: Optional[float] = None) -> bool:
-        """Whether the fleet's p95 latency meets the (given or stored) SLO."""
+        """Whether the fleet's p95 latency meets the (given or stored) SLO.
+
+        An empty report (no outcomes) has NaN percentiles and therefore
+        never meets an SLO.
+        """
         slo = slo_ms if slo_ms is not None else self.slo_ms
         if slo is None:
             raise ValueError("no SLO given and none stored on the report")

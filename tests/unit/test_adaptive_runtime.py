@@ -83,6 +83,45 @@ class TestControlContext:
                 warmed.sweep(epoch).energy_mj, cold.sweep(epoch).energy_mj
             )
 
+    def test_off_grid_handoff_falls_back_to_live_sweep(self, small_candidates):
+        """Conditions off the 0.005 trace grid must be evaluated live.
+
+        The bundled generators quantize handoff probabilities, but
+        hand-built or co-sim-generated conditions need not be on that grid;
+        they must neither raise nor silently reuse a neighbouring grid
+        point's cached arrays.
+        """
+        trace = drift_trace(10, seed=3)
+        context = ControlContext(candidates=small_candidates, deadline_ms=700.0)
+        context.prewarm(trace)
+        off_grid = EpochConditions(
+            time_ms=0.0, throughput_mbps=42.0, handoff_probability=0.00314159
+        )
+        evaluation = context.sweep(off_grid)  # no KeyError
+        fresh = ControlContext(candidates=small_candidates, deadline_ms=700.0)
+        np.testing.assert_array_equal(
+            evaluation.latency_ms, fresh.sweep(off_grid).latency_ms
+        )
+        np.testing.assert_array_equal(
+            evaluation.energy_mj, fresh.sweep(off_grid).energy_mj
+        )
+
+    def test_off_grid_neighbours_do_not_alias(self, small_candidates):
+        context = ControlContext(candidates=small_candidates, deadline_ms=700.0)
+        on_grid = EpochConditions(
+            time_ms=0.0, throughput_mbps=42.0, handoff_probability=0.005
+        )
+        off_grid = EpochConditions(
+            time_ms=0.0, throughput_mbps=42.0, handoff_probability=0.0049
+        )
+        cached_on = context.sweep(on_grid)
+        cached_off = context.sweep(off_grid)
+        # Distinct conditions must own distinct cache entries, and a higher
+        # handoff probability cannot make any candidate faster.
+        assert cached_on is not cached_off
+        assert context.sweep(off_grid) is cached_off
+        assert (cached_on.latency_ms >= cached_off.latency_ms).all()
+
     def test_sweep_matches_scalar_model(self, small_context):
         """The adaptive evaluation path is the scalar model, bit-for-bit."""
         conditions = EpochConditions(

@@ -97,6 +97,46 @@ class TestCommands:
         assert payload["adaptive"]["deadline_miss_rate"] == 0.0
         assert "wrote" in capsys.readouterr().out
 
+    def test_cosim_prints_closed_loop_summary(self, capsys):
+        assert main(
+            [
+                "cosim",
+                "--users", "6",
+                "--epochs", "10",
+                "--controller", "greedy",
+                "--edge-servers", "2",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Closed-loop co-simulation" in output
+        assert "fixed point" in output
+        assert "offload fraction" in output
+
+    def test_cosim_sharded_run(self, capsys):
+        assert main(
+            [
+                "cosim",
+                "--users", "8",
+                "--epochs", "6",
+                "--controller", "hysteresis",
+                "--shards", "2",
+            ]
+        ) == 0
+        assert "independent cells" in capsys.readouterr().out
+
+    def test_bench_includes_cosim_case(self, capsys):
+        assert main(
+            [
+                "bench",
+                "--points", "0",
+                "--fleet-users", "0",
+                "--adaptive-epochs", "0",
+                "--cosim-users", "40",
+                "--cosim-epochs", "12",
+            ]
+        ) == 0
+        assert "Co-simulation:" in capsys.readouterr().out
+
     def test_adapt_compares_controllers_to_best_static(self, capsys):
         assert main(["adapt", "--epochs", "50", "--trace", "burst"]) == 0
         output = capsys.readouterr().out

@@ -9,13 +9,16 @@ from repro.core.framework import XRPerformanceModel
 from repro.exceptions import ConfigurationError
 from repro.fleet import (
     CapacityPlan,
+    EdgePlan,
     FleetAnalyzer,
+    FleetReport,
     GreedySLOAdmission,
     RoundRobinAdmission,
     bisect_capacity,
     homogeneous,
     mixed_devices,
     plan_capacity,
+    plan_edges,
 )
 
 SLO_MS = 800.0
@@ -187,6 +190,22 @@ class TestFleetReport:
         with pytest.raises(ValueError):
             report.meets_slo()
 
+    def test_zero_outcomes_yield_well_defined_report(self):
+        # Regression: an all-rejected admission round used to blow up inside
+        # NumPy's percentile machinery; it must degrade to NaN percentiles
+        # with the SLO reported as not met.
+        report = FleetReport.from_outcomes([], slo_ms=100.0)
+        assert report.n_users == 0
+        assert math.isnan(report.p50_latency_ms)
+        assert math.isnan(report.p95_latency_ms)
+        assert math.isnan(report.p99_latency_ms)
+        assert math.isnan(report.mean_latency_ms)
+        assert report.total_energy_mj == 0.0
+        assert report.slo_violations == 0
+        assert not report.meets_slo()
+        assert not report.meets_slo(1e9)
+        assert "0 users" in report.summary()
+
 
 class TestBisectCapacity:
     def test_exact_threshold_found(self):
@@ -245,3 +264,48 @@ class TestPlanCapacity:
     def test_invalid_slo_rejected(self):
         with pytest.raises(ConfigurationError):
             plan_capacity(slo_ms=-5.0)
+
+    def test_unmeetable_slo_raises_when_feasibility_required(self):
+        with pytest.raises(ConfigurationError, match="unmeetable"):
+            plan_capacity(device="XR1", slo_ms=1.0, require_feasible=True)
+
+    def test_unmeetable_slo_raises_for_custom_policy_too(self):
+        with pytest.raises(ConfigurationError, match="unmeetable"):
+            plan_capacity(
+                device="XR1",
+                slo_ms=1.0,
+                policy=GreedySLOAdmission(slo_ms=1.0),
+                require_feasible=True,
+            )
+
+
+class TestPlanEdges:
+    def test_minimal_edge_count_found(self):
+        plan = plan_edges(device="XR1", n_users=8, slo_ms=SLO_MS, max_edges=16)
+        assert isinstance(plan, EdgePlan)
+        assert 1 <= plan.n_edges <= 16
+        assert plan.p95_ms <= SLO_MS
+        assert str(plan.n_edges) in plan.summary()
+        if plan.n_edges > 1:
+            # One fewer edge must violate the SLO (minimality).
+            fewer = FleetAnalyzer(
+                homogeneous(8, device="XR1"),
+                n_edges=plan.n_edges - 1,
+                policy=RoundRobinAdmission(),
+            ).analyze()
+            assert fewer.p95_latency_ms > SLO_MS
+
+    def test_unmeetable_slo_terminates_with_configuration_error(self):
+        # The channel (not the edge count) is binding at a 1 ms SLO: the
+        # search must probe the ceiling once and fail loudly instead of
+        # looping or returning a bogus plan.
+        with pytest.raises(ConfigurationError, match="unmeetable"):
+            plan_edges(device="XR1", n_users=8, slo_ms=1.0, max_edges=8)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_edges(slo_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            plan_edges(n_users=0)
+        with pytest.raises(ConfigurationError):
+            plan_edges(max_edges=0)
