@@ -34,7 +34,13 @@ Networks"* (Mallik, Xie, Han — ICDCS 2024).  The package provides:
   queueing are recomputed from the controllers' own placement decisions
   each epoch — per-epoch best-response iteration to a fixed point, with
   equivalence-class batching and optional process-pool sharding
-  (:mod:`repro.cosim`).
+  (:mod:`repro.cosim`),
+* a declarative experiment layer: versioned TOML/JSON scenario specs
+  covering every subsystem, a runner that turns a suite into an
+  attributable JSON run manifest, and regression gates that compare
+  manifests and bench payloads against committed baselines — the single
+  entry point CI uses to detect correctness and performance drift
+  (:mod:`repro.experiments`).
 
 Quickstart::
 
@@ -112,6 +118,16 @@ from repro.cosim import (
     ShardedCosimReport,
     run_cosim,
 )
+from repro.experiments import (
+    ExperimentRunner,
+    RegressionReport,
+    RunManifest,
+    ScenarioSpec,
+    ScenarioSuite,
+    bundled_suite,
+    compare_manifests,
+    load_suite,
+)
 
 __all__ = [
     "AdaptationReport",
@@ -139,6 +155,7 @@ __all__ = [
     "EncoderConfig",
     "EnergyBreakdown",
     "ExecutionMode",
+    "ExperimentRunner",
     "FleetAnalyzer",
     "FleetPopulation",
     "FleetReport",
@@ -150,6 +167,10 @@ __all__ = [
     "OperatingPoint",
     "ParameterGrid",
     "PerformanceReport",
+    "RegressionReport",
+    "RunManifest",
+    "ScenarioSpec",
+    "ScenarioSuite",
     "Segment",
     "SensorConfig",
     "SessionAnalyzer",
@@ -162,13 +183,16 @@ __all__ = [
     "XREnergyModel",
     "XRLatencyModel",
     "XRPerformanceModel",
+    "bundled_suite",
     "calibrated_coefficients",
+    "compare_manifests",
     "evaluate_grid",
     "evaluate_points",
     "get_cnn",
     "get_device",
     "get_edge_server",
     "list_cnns",
+    "load_suite",
     "make_trace",
     "plan_capacity",
     "plan_edges",

@@ -16,6 +16,11 @@ Installed as ``python -m repro``.  Subcommands:
 * ``bench``    — scalar-vs-batch, fleet-scale, adaptive-runtime and co-sim
   throughput summary (optionally written to a JSON baseline for the perf
   trajectory),
+* ``experiments`` — declarative scenario suites: ``list`` the bundled
+  specs, ``run`` them into a manifest under ``results/manifests/``,
+  ``check`` a manifest against a committed baseline (the CI regression
+  gate), and ``bench-check`` a ``bench --json`` payload against the
+  committed ``BENCH_*.json`` baselines,
 * ``tables``   — print the Table I / Table II reproductions,
 * ``validate`` — quick model-vs-simulated-testbed validation (Fig. 4 style).
 
@@ -26,6 +31,7 @@ by ``validate`` (which stores artefacts under ``results/``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -37,6 +43,25 @@ from repro.core.framework import XRPerformanceModel
 from repro.core.session import SessionAnalyzer
 from repro.devices.catalog import DEVICE_CATALOG, EDGE_CATALOG
 from repro.evaluation.report import format_table
+
+
+def _env_float(name: str, default: float) -> float:
+    """An environment override parsed as float; malformed values fall back.
+
+    Parsing happens at parser-build time, so a bad value must not take every
+    unrelated subcommand down with a traceback.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        print(
+            f"warning: ignoring {name}={raw!r} (not a number); using {default}",
+            file=sys.stderr,
+        )
+        return default
 
 
 def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
@@ -459,32 +484,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     cosim_case = None
     if args.cosim_users > 0 and args.cosim_epochs > 0:
         from repro.adaptive import GreedyBatchSweep, step_trace
-        from repro.cosim import CoSimulation
+        from repro.cosim import run_cosim
         from repro.fleet import homogeneous
 
         trace = step_trace(args.cosim_epochs, seed=11)
         start = time.perf_counter()
-        cosim_report = CoSimulation(
+        cosim_report = run_cosim(
             homogeneous(args.cosim_users, device=args.device),
             GreedyBatchSweep(),
             trace,
+            n_shards=args.cosim_shards,
             edge=args.edge,
             n_edges=8,
             include_aoi=False,
-        ).run()
+        )
         cosim_s = time.perf_counter() - start
         user_epochs = args.cosim_users * args.cosim_epochs
+        # Sharded merges expose a reduced diagnostic surface; record what
+        # the report carries so the JSON stays comparable either way.
+        offload = getattr(cosim_report, "mean_offload_fraction", None)
+        unconverged = getattr(cosim_report, "n_unconverged_epochs", None)
         cosim_case = {
             "name": f"cosim_{args.cosim_users}x{args.cosim_epochs}",
             "users": args.cosim_users,
             "epochs": args.cosim_epochs,
+            "shards": args.cosim_shards,
             "trace": trace.name,
             "seconds": cosim_s,
             "user_epochs_per_s": user_epochs / cosim_s,
             "deadline_miss_rate": cosim_report.deadline_miss_rate,
-            "mean_offload_fraction": cosim_report.mean_offload_fraction,
-            "unconverged_epochs": cosim_report.n_unconverged_epochs,
+            "mean_offload_fraction": offload,
+            "unconverged_epochs": unconverged,
         }
+
+    # Write the baseline before printing anything: a summary that fails to
+    # render (broken pipe, encoding) must not cost the measurement, and the
+    # payload carries the git SHA + version so baselines are attributable.
+    if args.json:
+        from repro.experiments import git_sha
+
+        payload = {
+            "device": args.device,
+            "edge": args.edge,
+            "version": __version__,
+            "git_sha": git_sha(),
+            "grids": cases,
+            "fleet": fleet_case,
+            "adaptive": adaptive_case,
+            "cosim": cosim_case,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
 
     rows = [
         (
@@ -513,28 +564,153 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
 
     if cosim_case is not None:
+        unconverged = (
+            f"{cosim_case['unconverged_epochs']} unconverged epochs"
+            if cosim_case["unconverged_epochs"] is not None
+            else f"{cosim_case['shards']} shards"
+        )
         print(
             f"\nCo-simulation: {cosim_case['users']} users x "
             f"{cosim_case['epochs']} epochs (closed loop) in "
             f"{cosim_case['seconds']:.2f} s "
             f"({cosim_case['user_epochs_per_s']:,.0f} user-epochs/s, "
-            f"{cosim_case['unconverged_epochs']} unconverged epochs)"
+            f"{unconverged})"
         )
 
     if args.json:
-        payload = {
-            "device": args.device,
-            "edge": args.edge,
-            "grids": cases,
-            "fleet": fleet_case,
-            "adaptive": adaptive_case,
-            "cosim": cosim_case,
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
         print(f"\nwrote {args.json}")
     return 0
+
+
+def _resolve_suite(suite_arg: str):
+    from repro.experiments import bundled_suite, load_suite
+
+    if suite_arg == "bundled":
+        return bundled_suite()
+    return load_suite(suite_arg)
+
+
+def _cmd_experiments_list(args: argparse.Namespace) -> int:
+    suite = _resolve_suite(args.suite)
+    rows = [
+        (
+            spec.name,
+            spec.kind,
+            spec.device,
+            spec.edge,
+            str(len(spec.expected)),
+            spec.description,
+        )
+        for spec in suite
+    ]
+    print(f"Suite '{suite.name}' — {len(suite)} scenarios, spec hash {suite.spec_hash()[:12]}")
+    print(
+        format_table(
+            rows,
+            headers=("scenario", "kind", "device", "edge", "expected", "description"),
+        )
+    )
+    return 0
+
+
+def _print_manifest(manifest) -> None:
+    rows = [
+        (
+            result.name,
+            result.kind,
+            result.status,
+            f"{result.wall_time_s:.2f}",
+            str(len(result.metrics)),
+        )
+        for result in manifest.scenarios
+    ]
+    print(
+        f"Suite '{manifest.suite}' — repro {manifest.repro_version}, "
+        f"commit {(manifest.git_sha or 'unknown')[:12]}, "
+        f"spec hash {manifest.spec_hash[:12]}"
+    )
+    print(format_table(rows, headers=("scenario", "kind", "status", "wall (s)", "metrics")))
+    for result in manifest.scenarios:
+        for check in result.checks:
+            print(f"  check failed — {result.name}: {check}")
+        if result.error:
+            print(f"  error — {result.name}: {result.error}")
+
+
+def _cmd_experiments_run(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentRunner
+
+    suite = _resolve_suite(args.suite)
+    runner = ExperimentRunner(suite)
+    manifest = runner.run(
+        select=args.select, processes=args.processes, write=False
+    )
+    out = args.out if args.out else runner.manifest_path()
+    manifest.save(out)
+    _print_manifest(manifest)
+    print(f"\nwrote {out} in {manifest.total_wall_time_s:.1f} s")
+    return 0 if manifest.passed else 1
+
+
+def _cmd_experiments_check(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        DEFAULT_GATE_RTOL,
+        ExperimentRunner,
+        RunManifest,
+        compare_manifests,
+        git_sha,
+    )
+
+    baseline = RunManifest.load(args.baseline)
+    if args.manifest:
+        manifest = RunManifest.load(args.manifest)
+        source = args.manifest
+        head = git_sha()
+        if head and manifest.git_sha and manifest.git_sha != head:
+            print(
+                f"warning: manifest {args.manifest} was recorded at commit "
+                f"{manifest.git_sha[:12]} but HEAD is {head[:12]}; the gate "
+                f"may be checking stale results — re-run "
+                f"'repro experiments run' or drop --manifest",
+                file=sys.stderr,
+            )
+    else:
+        # The default is a fresh serial run, so the gate always reflects
+        # the code being checked rather than whatever manifest happens to
+        # be on disk.
+        suite = _resolve_suite(args.suite)
+        manifest = ExperimentRunner(suite).run(write=False)
+        source = f"fresh run of suite '{suite.name}'"
+    report = compare_manifests(
+        manifest,
+        baseline,
+        default_rtol=args.rtol if args.rtol is not None else DEFAULT_GATE_RTOL,
+        ignore_spec_hash=args.ignore_spec_hash,
+    )
+    print(f"Comparing {source} against {args.baseline}")
+    print(report.summary())
+    if not manifest.passed:
+        _print_manifest(manifest)
+        return 1
+    return 0 if report.passed else 1
+
+
+def _cmd_experiments_bench_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import compare_bench_files
+
+    with open(args.current, "r", encoding="utf-8") as handle:
+        current = json.load(handle)
+    reports = compare_bench_files(
+        current, args.baselines, tolerance=args.tolerance
+    )
+    failed = False
+    for report in reports:
+        print(report.summary())
+        print()
+        failed = failed or not report.passed
+    return 1 if failed else 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -787,11 +963,110 @@ def build_parser() -> argparse.ArgumentParser:
         help="epochs for the closed-loop co-sim timing",
     )
     bench.add_argument(
+        "--cosim-shards",
+        type=int,
+        default=1,
+        help="independent cells the co-sim fleet is split into (process pool)",
+    )
+    bench.add_argument(
         "--json",
         metavar="PATH",
         help="also write the measurements to a JSON baseline file",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    experiments = subparsers.add_parser(
+        "experiments",
+        help="declarative scenario suites: list/run manifests and regression-gate "
+        "them against committed baselines",
+    )
+    actions = experiments.add_subparsers(dest="action", required=True)
+
+    def _add_suite_argument(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--suite",
+            default="bundled",
+            help="'bundled' or a path to a .toml/.json scenario file or directory",
+        )
+
+    exp_list = actions.add_parser("list", help="print the suite's scenario table")
+    _add_suite_argument(exp_list)
+    exp_list.set_defaults(handler=_cmd_experiments_list)
+
+    exp_run = actions.add_parser(
+        "run", help="run a suite and write its manifest under results/manifests/"
+    )
+    _add_suite_argument(exp_run)
+    exp_run.add_argument(
+        "--select",
+        nargs="+",
+        metavar="SCENARIO",
+        help="run only these scenarios (suite order preserved)",
+    )
+    exp_run.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="worker processes for independent scenarios (0 = serial reference path)",
+    )
+    exp_run.add_argument(
+        "--out",
+        metavar="PATH",
+        help="manifest output path (default: results/manifests/<suite>.json)",
+    )
+    exp_run.set_defaults(handler=_cmd_experiments_run)
+
+    exp_check = actions.add_parser(
+        "check",
+        help="regression-gate a manifest (or a fresh run) against a baseline manifest",
+    )
+    _add_suite_argument(exp_check)
+    exp_check.add_argument(
+        "--baseline",
+        default="results/manifests/baseline.json",
+        help="committed baseline manifest to gate against",
+    )
+    exp_check.add_argument(
+        "--manifest",
+        default=None,
+        help="gate this previously-written manifest instead of running the "
+        "suite fresh (a stale-commit warning is printed if its git SHA "
+        "differs from HEAD)",
+    )
+    exp_check.add_argument(
+        "--rtol",
+        type=float,
+        default=None,
+        help="gate-wide relative tolerance (default: 1e-6; per-metric "
+        "tolerances committed with the baseline always win)",
+    )
+    exp_check.add_argument(
+        "--ignore-spec-hash",
+        action="store_true",
+        help="compare metrics even when the scenario suite changed",
+    )
+    exp_check.set_defaults(handler=_cmd_experiments_check)
+
+    exp_bench = actions.add_parser(
+        "bench-check",
+        help="gate a 'repro bench --json' payload against committed BENCH_*.json "
+        "baselines (throughput one-sided, model outputs tight)",
+    )
+    exp_bench.add_argument("--current", required=True, help="fresh bench --json payload")
+    exp_bench.add_argument(
+        "--baselines",
+        nargs="+",
+        default=["BENCH_batch.json", "BENCH_adaptive.json", "BENCH_cosim.json"],
+        help="committed baseline files to gate against",
+    )
+    exp_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=_env_float("REPRO_BENCH_TOLERANCE", 0.6),
+        help="one-sided throughput slack (fraction below baseline allowed; "
+        "default 0.6, overridable via REPRO_BENCH_TOLERANCE)",
+    )
+    exp_bench.set_defaults(handler=_cmd_experiments_bench_check)
 
     tables = subparsers.add_parser("tables", help="print the Table I / II reproductions")
     tables.set_defaults(handler=_cmd_tables)

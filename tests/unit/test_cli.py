@@ -208,3 +208,161 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Fig. 4a" in output
         assert "reproduction mean error" in output
+
+
+class TestExperimentsCommand:
+    def _suite_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "suite.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "scenarios": [
+                        {"name": "point", "kind": "analyze", "mode": "local"},
+                        {
+                            "name": "grid",
+                            "kind": "sweep",
+                            "params": {
+                                "frame_sides_px": [300.0, 500.0],
+                                "cpu_freqs_ghz": [1.0],
+                            },
+                        },
+                    ]
+                }
+            )
+        )
+        return path
+
+    def test_list_prints_scenario_table(self, tmp_path, capsys):
+        path = self._suite_file(tmp_path)
+        assert main(["experiments", "list", "--suite", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "point" in output and "grid" in output
+        assert "spec hash" in output
+
+    def test_run_writes_manifest_and_check_passes_against_it(self, tmp_path, capsys):
+        import json
+
+        suite = self._suite_file(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        assert (
+            main(["experiments", "run", "--suite", str(suite), "--out", str(manifest)])
+            == 0
+        )
+        payload = json.loads(manifest.read_text())
+        assert [s["name"] for s in payload["scenarios"]] == ["point", "grid"]
+        assert payload["repro_version"]
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "experiments",
+                    "check",
+                    "--suite", str(suite),
+                    "--manifest", str(manifest),
+                    "--baseline", str(manifest),
+                ]
+            )
+            == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_fails_on_doctored_baseline(self, tmp_path, capsys):
+        import json
+
+        suite = self._suite_file(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        assert (
+            main(["experiments", "run", "--suite", str(suite), "--out", str(manifest)])
+            == 0
+        )
+        payload = json.loads(manifest.read_text())
+        payload["scenarios"][0]["metrics"]["total_latency_ms"] *= 2.0
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "experiments",
+                    "check",
+                    "--suite", str(suite),
+                    "--manifest", str(manifest),
+                    "--baseline", str(baseline),
+                ]
+            )
+            == 1
+        )
+        output = capsys.readouterr().out
+        assert "FAIL" in output
+        assert "point.total_latency_ms" in output
+
+    def test_run_select_subset(self, tmp_path, capsys):
+        suite = self._suite_file(tmp_path)
+        out = tmp_path / "selected.json"
+        assert (
+            main(
+                [
+                    "experiments",
+                    "run",
+                    "--suite", str(suite),
+                    "--select", "grid",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        assert "grid" in capsys.readouterr().out
+
+    def test_bench_check_gates_payload(self, tmp_path, capsys):
+        import json
+
+        current = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--points", "0",
+                    "--fleet-users", "0",
+                    "--adaptive-epochs", "0",
+                    "--json", str(current),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Self-comparison passes...
+        assert (
+            main(
+                [
+                    "experiments",
+                    "bench-check",
+                    "--current", str(current),
+                    "--baselines", str(current),
+                ]
+            )
+            == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+        # ...and a doctored baseline (much faster + different model output) fails.
+        payload = json.loads(current.read_text())
+        payload["grids"][0]["batch_points_per_s"] *= 100.0
+        payload["grids"][0]["points"] = 16
+        baseline = tmp_path / "BENCH_doctored.json"
+        baseline.write_text(json.dumps(payload))
+        assert (
+            main(
+                [
+                    "experiments",
+                    "bench-check",
+                    "--current", str(current),
+                    "--baselines", str(baseline),
+                    "--tolerance", "0.5",
+                ]
+            )
+            == 1
+        )
+        output = capsys.readouterr().out
+        assert "FAIL" in output
+        assert "fig4_grid.points" in output
