@@ -128,6 +128,7 @@ from repro.experiments import (
     compare_manifests,
     load_suite,
 )
+from repro import telemetry
 
 __all__ = [
     "AdaptationReport",
@@ -197,5 +198,6 @@ __all__ = [
     "plan_capacity",
     "plan_edges",
     "run_cosim",
+    "telemetry",
     "__version__",
 ]

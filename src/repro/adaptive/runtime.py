@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.adaptive.traces import ConditionTrace, EpochConditions
 from repro.batch.engine import evaluate_points
 from repro.batch.grid import OperatingPoint
@@ -268,6 +269,14 @@ class ControlContext:
         Returns the number of distinct condition keys evaluated.  Epochs
         whose conditions were already cached cost nothing.
         """
+        with telemetry.get().span(
+            "adaptive.prewarm", epochs=trace.n_epochs, candidates=self.n_candidates
+        ) as sp:
+            distinct = self._prewarm(trace)
+            sp.annotate(distinct_keys=distinct)
+            return distinct
+
+    def _prewarm(self, trace: ConditionTrace) -> int:
         fresh = []
         seen = set()
         for epoch in trace:
@@ -546,6 +555,20 @@ class AdaptiveRuntime:
 
     def run(self, controller) -> AdaptationReport:
         """Drive the controller over the trace on the DES clock."""
+        registry = telemetry.get()
+        with registry.span(
+            "adaptive.run",
+            epochs=self.trace.n_epochs,
+            candidates=self.context.n_candidates,
+        ):
+            report = self._run_loop(controller)
+        if registry.enabled:
+            registry.add("adaptive.runs")
+            registry.add("adaptive.epochs", report.n_epochs)
+            registry.add("adaptive.switches", report.switch_count)
+        return report
+
+    def _run_loop(self, controller) -> AdaptationReport:
         trace = self.trace
         context = self.context
         controller.reset(context)

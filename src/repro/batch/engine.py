@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.cnn.zoo import get_cnn
 from repro.config.application import ApplicationConfig, ExecutionMode
 from repro.config.device import DeviceSpec, EdgeServerSpec
@@ -536,6 +537,20 @@ def evaluate_grid(
         include_aoi: evaluate the AoI model per point (off by default, like
             the scalar ``sweep``).
     """
+    with telemetry.get().span(
+        "batch.evaluate_grid",
+        points=grid.n_points,
+        groups=len(grid.devices) * len(grid.modes),
+    ):
+        return _evaluate_grid(grid, coefficients, complexity_mode, include_aoi)
+
+
+def _evaluate_grid(
+    grid: ParameterGrid,
+    coefficients: Optional[CoefficientSet],
+    complexity_mode: str,
+    include_aoi: bool,
+) -> BatchResult:
     coefficients = coefficients if coefficients is not None else CoefficientSet.paper()
     numeric = grid.numeric_arrays()
     per_group = grid.points_per_group
@@ -599,6 +614,18 @@ def evaluate_points(
     """
     if not points:
         raise ConfigurationError("evaluate_points needs at least one operating point")
+    with telemetry.get().span("batch.evaluate_points", points=len(points)) as sp:
+        result = _evaluate_points(points, coefficients, complexity_mode, include_aoi)
+        sp.annotate(groups=len(result.groups))
+        return result
+
+
+def _evaluate_points(
+    points: Sequence[OperatingPoint],
+    coefficients: Optional[CoefficientSet],
+    complexity_mode: str,
+    include_aoi: bool,
+) -> BatchResult:
     coefficients = coefficients if coefficients is not None else CoefficientSet.paper()
 
     buckets: Dict[tuple, Tuple[_GroupEvaluator, List[int], Dict[str, List[float]]]] = {}

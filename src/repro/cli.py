@@ -35,6 +35,7 @@ import os
 import sys
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro._version import __version__
 from repro.config.application import ApplicationConfig, ExecutionMode
 from repro.config.network import NetworkConfig
@@ -371,7 +372,6 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
-    import time
     from dataclasses import replace
 
     import numpy as np
@@ -393,15 +393,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     def _grid_case(name, cpu_freqs, frame_sides):
         n_points = len(cpu_freqs) * len(frame_sides)
-        start = time.perf_counter()
-        for cpu_freq in cpu_freqs:
-            for frame_side in frame_sides:
-                model.analyze(
-                    replace(app, cpu_freq_ghz=cpu_freq, frame_side_px=frame_side),
-                    network,
-                    include_aoi=False,
-                )
-        scalar_s = time.perf_counter() - start
+        with telemetry.get().span("bench.grid.scalar", points=n_points) as sp:
+            for cpu_freq in cpu_freqs:
+                for frame_side in frame_sides:
+                    model.analyze(
+                        replace(app, cpu_freq_ghz=cpu_freq, frame_side_px=frame_side),
+                        network,
+                        include_aoi=False,
+                    )
+        scalar_s = sp.elapsed_s
         grid = ParameterGrid(
             frame_sides_px=tuple(frame_sides),
             cpu_freqs_ghz=tuple(cpu_freqs),
@@ -410,9 +410,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             app=app,
             network=network,
         )
-        start = time.perf_counter()
-        evaluate_grid(grid)
-        batch_s = time.perf_counter() - start
+        with telemetry.get().span("bench.grid.batch", points=n_points) as sp:
+            evaluate_grid(grid)
+        batch_s = sp.elapsed_s
         return {
             "name": name,
             "points": n_points,
@@ -438,15 +438,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     fleet_case = None
     if args.fleet_users > 0:
-        start = time.perf_counter()
-        report = FleetAnalyzer(
-            homogeneous(args.fleet_users, device=args.device),
-            edge=args.edge,
-            policy=GreedySLOAdmission(slo_ms=800.0),
-            slo_ms=800.0,
-            include_aoi=False,
-        ).analyze()
-        fleet_s = time.perf_counter() - start
+        with telemetry.get().span("bench.fleet", users=args.fleet_users) as sp:
+            report = FleetAnalyzer(
+                homogeneous(args.fleet_users, device=args.device),
+                edge=args.edge,
+                policy=GreedySLOAdmission(slo_ms=800.0),
+                slo_ms=800.0,
+                include_aoi=False,
+            ).analyze()
+        fleet_s = sp.elapsed_s
         fleet_case = {
             "name": f"fleet_{args.fleet_users}",
             "users": args.fleet_users,
@@ -460,12 +460,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.adaptive import AdaptiveRuntime, GreedyBatchSweep, burst_trace
 
         trace = burst_trace(args.adaptive_epochs, seed=0)
-        start = time.perf_counter()
-        runtime = AdaptiveRuntime(trace=trace, device=args.device, edge=args.edge)
-        prewarm_s = time.perf_counter() - start
-        start = time.perf_counter()
-        adaptive_report = runtime.run(GreedyBatchSweep())
-        control_s = time.perf_counter() - start
+        with telemetry.get().span("bench.adaptive.prewarm", epochs=args.adaptive_epochs) as sp:
+            runtime = AdaptiveRuntime(trace=trace, device=args.device, edge=args.edge)
+        prewarm_s = sp.elapsed_s
+        with telemetry.get().span("bench.adaptive.control", epochs=args.adaptive_epochs) as sp:
+            adaptive_report = runtime.run(GreedyBatchSweep())
+        control_s = sp.elapsed_s
         decisions = args.adaptive_epochs * len(runtime.candidates)
         adaptive_case = {
             "name": f"adaptive_{args.adaptive_epochs}",
@@ -488,17 +488,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.fleet import homogeneous
 
         trace = step_trace(args.cosim_epochs, seed=11)
-        start = time.perf_counter()
-        cosim_report = run_cosim(
-            homogeneous(args.cosim_users, device=args.device),
-            GreedyBatchSweep(),
-            trace,
-            n_shards=args.cosim_shards,
-            edge=args.edge,
-            n_edges=8,
-            include_aoi=False,
-        )
-        cosim_s = time.perf_counter() - start
+        with telemetry.get().span(
+            "bench.cosim", users=args.cosim_users, epochs=args.cosim_epochs
+        ) as sp:
+            cosim_report = run_cosim(
+                homogeneous(args.cosim_users, device=args.device),
+                GreedyBatchSweep(),
+                trace,
+                n_shards=args.cosim_shards,
+                edge=args.edge,
+                n_edges=8,
+                include_aoi=False,
+            )
+        cosim_s = sp.elapsed_s
         user_epochs = args.cosim_users * args.cosim_epochs
         # Sharded merges expose a reduced diagnostic surface; record what
         # the report carries so the JSON stays comparable either way.
@@ -577,6 +579,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{unconverged})"
         )
 
+    if args.json:
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _profile_batch(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from repro.batch import ParameterGrid, evaluate_grid
+
+    grid = ParameterGrid(
+        frame_sides_px=tuple(np.linspace(300.0, 700.0, 24)),
+        cpu_freqs_ghz=tuple(np.linspace(1.0, 3.0, 12)),
+        devices=(args.device,),
+        edge=args.edge,
+        app=ApplicationConfig.object_detection_default(),
+        network=NetworkConfig(),
+    )
+    evaluate_grid(grid)
+    return f"{grid.n_points}-point batch grid on {args.device}"
+
+
+def _profile_fleet(args: argparse.Namespace) -> str:
+    from repro.fleet import FleetAnalyzer, GreedySLOAdmission, homogeneous
+
+    FleetAnalyzer(
+        homogeneous(args.users, device=args.device),
+        edge=args.edge,
+        policy=GreedySLOAdmission(slo_ms=800.0),
+        slo_ms=800.0,
+        include_aoi=False,
+    ).analyze()
+    return f"{args.users}-user fleet on {args.device}"
+
+
+def _profile_adapt(args: argparse.Namespace) -> str:
+    from repro.adaptive import AdaptiveRuntime, GreedyBatchSweep, burst_trace
+
+    trace = burst_trace(args.epochs, seed=0)
+    runtime = AdaptiveRuntime(trace=trace, device=args.device, edge=args.edge)
+    runtime.run(GreedyBatchSweep())
+    return f"{args.epochs} burst epochs on {args.device}"
+
+
+def _profile_cosim(args: argparse.Namespace) -> str:
+    from repro.adaptive import HysteresisThreshold, make_trace
+    from repro.cosim import run_cosim
+    from repro.fleet import homogeneous
+
+    trace = make_trace("burst", args.epochs, seed=0)
+    run_cosim(
+        homogeneous(args.users, device=args.device),
+        HysteresisThreshold(),
+        trace,
+        edge=args.edge,
+        n_edges=2,
+        include_aoi=False,
+    )
+    return f"{args.users} users x {args.epochs} closed-loop epochs on {args.device}"
+
+
+def _profile_experiments(args: argparse.Namespace) -> str:
+    from repro.experiments import ExperimentRunner, bundled_suite
+
+    del args
+    suite = bundled_suite()
+    ExperimentRunner(suite, manifest_dir=None).run(write=False)
+    return f"bundled suite ({len(suite)} scenarios)"
+
+
+_PROFILE_WORKLOADS = {
+    "batch": _profile_batch,
+    "fleet": _profile_fleet,
+    "adapt": _profile_adapt,
+    "cosim": _profile_cosim,
+    "experiments": _profile_experiments,
+}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    registry = telemetry.enable()
+    try:
+        description = _PROFILE_WORKLOADS[args.workload](args)
+    finally:
+        telemetry.disable()
+    snapshot = registry.snapshot()
+    if args.json:
+        telemetry.save_snapshot(snapshot, args.json)
+    print(f"Telemetry profile — {description}")
+    print()
+    print(telemetry.format_profile(snapshot, telemetry.cache_report()))
     if args.json:
         print(f"\nwrote {args.json}")
     return 0
@@ -973,7 +1066,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the measurements to a JSON baseline file",
     )
+    bench.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="run with telemetry enabled and write the snapshot as JSON",
+    )
     bench.set_defaults(handler=_cmd_bench)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run a small representative workload with telemetry enabled and "
+        "print its span tree, counters and cache report",
+    )
+    profile.add_argument(
+        "workload",
+        choices=sorted(_PROFILE_WORKLOADS),
+        help="which subsystem workload to profile",
+    )
+    _add_device_arguments(profile)
+    profile.add_argument(
+        "--users", type=int, default=64, help="fleet size (fleet/cosim workloads)"
+    )
+    profile.add_argument(
+        "--epochs", type=int, default=100, help="control epochs (adapt/cosim workloads)"
+    )
+    profile.add_argument(
+        "--json", metavar="PATH", help="also write the telemetry snapshot as JSON"
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     experiments = subparsers.add_parser(
         "experiments",
@@ -1013,6 +1133,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="PATH",
         help="manifest output path (default: results/manifests/<suite>.json)",
+    )
+    exp_run.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="run with telemetry enabled and write the snapshot as JSON "
+        "(the manifest also embeds it; metric payloads are unaffected)",
     )
     exp_run.set_defaults(handler=_cmd_experiments_run)
 
@@ -1084,7 +1210,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    telemetry_path = getattr(args, "telemetry", None)
+    if not telemetry_path:
+        return args.handler(args)
+    # --telemetry PATH: run the subcommand against a fresh recording
+    # registry and persist its snapshot, whatever the exit path.
+    registry = telemetry.enable()
+    try:
+        code = args.handler(args)
+    finally:
+        telemetry.disable()
+        telemetry.save_snapshot(registry.snapshot(), telemetry_path)
+    print(f"wrote telemetry snapshot {telemetry_path}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

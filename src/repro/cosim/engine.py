@@ -58,6 +58,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from repro import telemetry
 from repro.adaptive.controllers import Controller
 from repro.adaptive.runtime import (
     AdaptationReport,
@@ -573,6 +574,15 @@ class CoSimulation:
 
     def run(self) -> CosimReport:
         """Drive the closed loop over every epoch on the shared DES clock."""
+        with telemetry.get().span(
+            "cosim.run",
+            users=self._n_users,
+            epochs=self._classes[0].trace.n_epochs,
+            classes=len(self._classes),
+        ):
+            return self._run()
+
+    def _run(self) -> CosimReport:
         classes = self._classes
         n_users = self._n_users
         n_epochs = classes[0].trace.n_epochs
@@ -710,6 +720,8 @@ class CoSimulation:
         # Whether `loads` was computed for the current `decisions` vector
         # (lets the charging step below skip a recomputation).
         loads_current = False
+        registry = telemetry.get()
+        n_blends = 0
 
         while iterations < self.max_iterations:
             iterations += 1
@@ -731,6 +743,13 @@ class CoSimulation:
                 self._damp(previous, exact)
                 for previous, exact in zip(prev_thr, exact_thr)
             ]
+            if registry.enabled:
+                n_blends += sum(
+                    used != exact for used, exact in zip(used_wait, exact_wait)
+                )
+                n_blends += sum(
+                    used != exact for used, exact in zip(used_thr, exact_thr)
+                )
             prev_wait, prev_thr = used_wait, used_thr
             new_decisions = self._decide_round(
                 epoch, base, snapshots, loads, used_wait, used_thr
@@ -762,6 +781,21 @@ class CoSimulation:
             decisions = verification
             loads_current = False
         self._prev_decisions = decisions
+
+        if registry.enabled:
+            registry.add("cosim.epochs")
+            if converged:
+                registry.add("cosim.epochs_converged")
+            else:
+                registry.add("cosim.epochs_unconverged")
+                if not loads_current:
+                    # The budget ran out with decisions still moving in the
+                    # final round: a best-response cycle, not a stable-but-
+                    # unverified point.
+                    registry.add("cosim.epochs_oscillating")
+            registry.add("cosim.best_response_iterations", iterations)
+            registry.add("cosim.damping_blends", n_blends)
+            registry.record("cosim.iterations_per_epoch", iterations)
 
         # Charge outcomes with the exact (undamped) loads of the final
         # decisions — the realised regime, self-consistent when converged.
@@ -841,9 +875,24 @@ class CoSimulation:
 # ---------------------------------------------------------------------------
 
 
-def _run_shard(payload: tuple) -> CosimReport:
-    population, controller, trace, kwargs = payload
-    return CoSimulation(population, controller, trace, **kwargs).run()
+def _run_shard(payload: tuple) -> Tuple[CosimReport, Optional[dict]]:
+    """Run one shard; optionally capture its telemetry snapshot.
+
+    ``capture`` makes the shard record into a *fresh* registry (restored
+    afterwards) whether it runs in a pool worker or in-process during the
+    serial fallback — the merged parent-side snapshot is identical either
+    way, which keeps the fallback bit-compatible.
+    """
+    population, controller, trace, kwargs, capture = payload
+    if not capture:
+        return CoSimulation(population, controller, trace, **kwargs).run(), None
+    registry = telemetry.Telemetry()
+    previous = telemetry.activate(registry)
+    try:
+        report = CoSimulation(population, controller, trace, **kwargs).run()
+    finally:
+        telemetry.activate(previous)
+    return report, registry.snapshot()
 
 
 def run_cosim(
@@ -875,12 +924,15 @@ def run_cosim(
         raise ConfigurationError(
             f"cannot split {len(population)} users into {n_shards} shards"
         )
+    registry = telemetry.get()
+    capture = registry.enabled
     payloads = [
         (
             FleetPopulation(users=population.users[shard::n_shards]),
             controller,
             trace,
             kwargs,
+            capture,
         )
         for shard in range(n_shards)
     ]
@@ -891,19 +943,28 @@ def run_cosim(
     import concurrent.futures
     import pickle
 
-    try:
-        pickle.dumps(payloads[0])
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_shards)
-    except (pickle.PicklingError, AttributeError, TypeError, OSError, ImportError):
-        pool = None
-    if pool is None:
-        reports = [_run_shard(payload) for payload in payloads]
-    else:
+    with registry.span("cosim.run_sharded", users=len(population), shards=n_shards):
         try:
-            with pool:
-                reports = list(pool.map(_run_shard, payloads))
-        except concurrent.futures.process.BrokenProcessPool:
-            # Workers could not be spawned or were killed by the
-            # environment; the serial path produces the identical result.
-            reports = [_run_shard(payload) for payload in payloads]
-    return ShardedCosimReport.from_shards(tuple(reports))
+            pickle.dumps(payloads[0])
+            pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_shards)
+        except (pickle.PicklingError, AttributeError, TypeError, OSError, ImportError):
+            pool = None
+        if pool is None:
+            results = [_run_shard(payload) for payload in payloads]
+        else:
+            try:
+                with pool:
+                    results = list(pool.map(_run_shard, payloads))
+            except concurrent.futures.process.BrokenProcessPool:
+                # Workers could not be spawned or were killed by the
+                # environment; the serial path produces the identical result.
+                results = [_run_shard(payload) for payload in payloads]
+        with registry.span("cosim.merge_shards", shards=n_shards):
+            # Shard snapshots merge in shard order (associative, so any
+            # grouping agrees on every deterministic field).
+            for _, snapshot in results:
+                if snapshot is not None:
+                    registry.merge_snapshot(snapshot)
+            return ShardedCosimReport.from_shards(
+                tuple(report for report, _ in results)
+            )

@@ -123,6 +123,13 @@ class CosimReport:
         return sum(1 for flag in self.converged if not flag)
 
     @property
+    def convergence_rate(self) -> float:
+        """Fraction of epochs whose best response reached a fixed point."""
+        if not self.converged:
+            return 1.0
+        return sum(1 for flag in self.converged if flag) / len(self.converged)
+
+    @property
     def mean_offload_fraction(self) -> float:
         """Run-mean fraction of users on the edge tier."""
         return float(np.mean(self.offload_fraction))
@@ -267,6 +274,17 @@ class ShardedCosimReport:
     def all_converged(self) -> bool:
         """Whether every epoch of every shard reached a fixed point."""
         return all(shard.all_converged for shard in self.shards)
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of (shard, epoch) best responses that reached a fixed point."""
+        total = sum(len(shard.converged) for shard in self.shards)
+        if not total:
+            return 1.0
+        converged = sum(
+            sum(1 for flag in shard.converged if flag) for shard in self.shards
+        )
+        return converged / total
 
     def summary(self) -> str:
         """Multi-line human-readable summary across shards."""

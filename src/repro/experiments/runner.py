@@ -22,11 +22,11 @@ from __future__ import annotations
 import json
 import math
 import subprocess
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import telemetry
 from repro._version import __version__
 from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.spec import ScenarioSpec, ScenarioSuite
@@ -286,6 +286,7 @@ def _cosim_metrics(spec: ScenarioSpec) -> Dict[str, object]:
         "fleet_p99_latency_ms": float(report.fleet_p99_latency_ms),
         "total_energy_j": float(report.total_energy_j),
         "switch_count": int(report.switch_count),
+        "convergence_rate": float(report.convergence_rate),
     }
     # Sharded merges expose a reduced surface; record the closed-loop
     # diagnostics whenever the report carries them.
@@ -370,6 +371,11 @@ class RunManifest:
     git_sha: Optional[str] = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
     total_wall_time_s: float = 0.0
+    #: Telemetry snapshot of the run (present only when the run was
+    #: telemetry-enabled).  Stripped by :meth:`metric_payload` exactly like
+    #: the wall-time fields, so enabling telemetry never perturbs the
+    #: deterministic payload.
+    telemetry: Optional[dict] = None
 
     @property
     def passed(self) -> bool:
@@ -383,7 +389,7 @@ class RunManifest:
         return None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema_version": self.schema_version,
             "suite": self.suite,
             "spec_hash": self.spec_hash,
@@ -392,6 +398,9 @@ class RunManifest:
             "total_wall_time_s": self.total_wall_time_s,
             "scenarios": [result.to_dict() for result in self.scenarios],
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "RunManifest":
@@ -410,6 +419,7 @@ class RunManifest:
             git_sha=payload.get("git_sha"),
             schema_version=payload["schema_version"],
             total_wall_time_s=float(payload.get("total_wall_time_s", 0.0)),
+            telemetry=payload.get("telemetry"),
         )
 
     def metric_payload(self) -> dict:
@@ -420,6 +430,7 @@ class RunManifest:
         """
         payload = self.to_dict()
         payload.pop("total_wall_time_s", None)
+        payload.pop("telemetry", None)
         for scenario in payload["scenarios"]:
             scenario.pop("wall_time_s", None)
         return payload
@@ -448,7 +459,17 @@ class RunManifest:
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Run one scenario and fold its ``expected`` checks into the status."""
-    start = time.perf_counter()
+    registry = telemetry.get()
+    with registry.span(f"experiments.scenario.{spec.name}") as sp:
+        result = _run_scenario(spec)
+    result.wall_time_s = sp.elapsed_s
+    if registry.enabled:
+        registry.add("experiments.scenarios")
+        registry.add(f"experiments.scenarios_{result.status.replace('-', '_')}")
+    return result
+
+
+def _run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     try:
         metrics = _DISPATCH[spec.kind](spec)
     except ReproError as exc:
@@ -458,7 +479,6 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
             status="error",
             tolerances=dict(spec.tolerances),
             error=f"{type(exc).__name__}: {exc}",
-            wall_time_s=time.perf_counter() - start,
         )
     checks: List[str] = []
     for metric, expected in sorted(spec.expected.items()):
@@ -477,8 +497,27 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         metrics=metrics,
         tolerances=dict(spec.tolerances),
         checks=tuple(checks),
-        wall_time_s=time.perf_counter() - start,
     )
+
+
+def _run_scenario_captured(payload: Tuple[ScenarioSpec, bool]):
+    """Pool-worker entry point: optionally capture the worker's telemetry.
+
+    Mirrors ``repro.cosim.engine._run_shard``: with ``capture`` the scenario
+    records into a fresh registry (restored afterwards) whether it runs in a
+    worker or in-process during the serial fallback, so the parent-side
+    merged snapshot is identical either way.
+    """
+    spec, capture = payload
+    if not capture:
+        return run_scenario(spec), None
+    registry = telemetry.Telemetry()
+    previous = telemetry.activate(registry)
+    try:
+        result = run_scenario(spec)
+    finally:
+        telemetry.activate(previous)
+    return result, registry.snapshot()
 
 
 class ExperimentRunner:
@@ -521,15 +560,17 @@ class ExperimentRunner:
             write: write the manifest to :meth:`manifest_path`.
         """
         suite = self.suite if select is None else self.suite.select(select)
-        start = time.perf_counter()
-        results = self._run_specs(suite.specs, processes)
+        registry = telemetry.get()
+        with registry.span("experiments.run", scenarios=len(suite.specs)) as sp:
+            results = self._run_specs(suite.specs, processes)
         manifest = RunManifest(
             suite=suite.name,
             spec_hash=suite.spec_hash(),
             scenarios=tuple(results),
             repro_version=__version__,
             git_sha=git_sha(),
-            total_wall_time_s=time.perf_counter() - start,
+            total_wall_time_s=sp.elapsed_s,
+            telemetry=registry.snapshot() if registry.enabled else None,
         )
         path = self.manifest_path()
         if write and path is not None:
@@ -547,15 +588,24 @@ class ExperimentRunner:
         import concurrent.futures
         import pickle
 
+        registry = telemetry.get()
+        payloads = [(spec, registry.enabled) for spec in specs]
         try:
-            pickle.dumps(specs[0])
+            pickle.dumps(payloads[0])
             pool = concurrent.futures.ProcessPoolExecutor(max_workers=min(processes, len(specs)))
         except (pickle.PicklingError, AttributeError, TypeError, OSError, ImportError):
             pool = None
         if pool is None:
-            return [run_scenario(spec) for spec in specs]
-        try:
-            with pool:
-                return list(pool.map(run_scenario, specs))
-        except concurrent.futures.process.BrokenProcessPool:
-            return [run_scenario(spec) for spec in specs]
+            results = [_run_scenario_captured(payload) for payload in payloads]
+        else:
+            try:
+                with pool:
+                    results = list(pool.map(_run_scenario_captured, payloads))
+            except concurrent.futures.process.BrokenProcessPool:
+                results = [_run_scenario_captured(payload) for payload in payloads]
+        # Worker snapshots merge in scenario order (associative, so any
+        # grouping agrees on every deterministic field).
+        for _, snapshot in results:
+            if snapshot is not None:
+                registry.merge_snapshot(snapshot)
+        return [result for result, _ in results]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import telemetry
 from repro.config.application import ApplicationConfig, ExecutionMode
 from repro.config.device import EdgeServerSpec
 from repro.config.network import NetworkConfig
@@ -133,6 +134,43 @@ class FleetAnalyzer:
         self._mode_variants: Dict[
             Tuple[ApplicationConfig, ExecutionMode], ApplicationConfig
         ] = {}
+        # Hit/miss tallies per cache (plain ints; see cache_stats()).
+        self._cache_hits: Dict[str, int] = {name: 0 for name in self._CACHE_NAMES}
+        self._cache_misses: Dict[str, int] = {name: 0 for name in self._CACHE_NAMES}
+
+    #: The instance caches cache_stats() reports on (name -> attribute).
+    _CACHE_NAMES = {
+        "models": "_models",
+        "reports": "_reports",
+        "service_times": "_service_times",
+        "mode_variants": "_mode_variants",
+    }
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/size statistics of the analyzer's memoization caches.
+
+        Keys: ``models`` (per-device :class:`XRPerformanceModel`),
+        ``reports`` (per ``(device, app, network)`` performance reports —
+        batch-primed entries count as misses exactly once), ``service_times``
+        (per ``(device, app)`` edge busy times) and ``mode_variants``
+        (``app.with_mode`` rebuilds).  Deterministic per instance: the same
+        call sequence produces the same statistics.
+        """
+        return {
+            name: {
+                "hits": self._cache_hits[name],
+                "misses": self._cache_misses[name],
+                "currsize": len(getattr(self, attribute)),
+            }
+            for name, attribute in self._CACHE_NAMES.items()
+        }
+
+    def _publish_cache_stats(self) -> None:
+        """Record the current cache statistics as telemetry gauges."""
+        registry = telemetry.get()
+        for name, stats in self.cache_stats().items():
+            for field_name, value in stats.items():
+                registry.gauge(f"fleet.cache.{name}.{field_name}", value)
 
     # -- memoized building blocks ------------------------------------------------
 
@@ -140,6 +178,7 @@ class FleetAnalyzer:
         """The (memoized) single-user model for one device catalog entry."""
         model = self._models.get(device)
         if model is None:
+            self._cache_misses["models"] += 1
             model = XRPerformanceModel(
                 device=device,
                 edge=self.edge,
@@ -147,6 +186,8 @@ class FleetAnalyzer:
                 complexity_mode=self.complexity_mode,
             )
             self._models[device] = model
+        else:
+            self._cache_hits["models"] += 1
         return model
 
     def _mode_variant(
@@ -156,8 +197,11 @@ class FleetAnalyzer:
         key = (app, mode)
         variant = self._mode_variants.get(key)
         if variant is None:
+            self._cache_misses["mode_variants"] += 1
             variant = app.with_mode(mode)
             self._mode_variants[key] = variant
+        else:
+            self._cache_hits["mode_variants"] += 1
         return variant
 
     def _prime_reports(
@@ -173,6 +217,7 @@ class FleetAnalyzer:
         missing = [key for key in dict.fromkeys(keys) if key not in self._reports]
         if not missing:
             return
+        self._cache_misses["reports"] += len(missing)
         batch = evaluate_points(
             [
                 OperatingPoint(app=app, network=network, device=device, edge=self.edge)
@@ -191,10 +236,13 @@ class FleetAnalyzer:
         key = (device, app, network)
         report = self._reports.get(key)
         if report is None:
+            self._cache_misses["reports"] += 1
             report = self.model_for(device).analyze(
                 app, network, include_aoi=self.include_aoi
             )
             self._reports[key] = report
+        else:
+            self._cache_hits["reports"] += 1
         return report
 
     def _service_time_ms(self, device: str, app: ApplicationConfig) -> float:
@@ -202,8 +250,11 @@ class FleetAnalyzer:
         key = (device, app)
         service = self._service_times.get(key)
         if service is None:
+            self._cache_misses["service_times"] += 1
             service = self.model_for(device).latency_model.remote_inference_ms(app)
             self._service_times[key] = service
+        else:
+            self._cache_hits["service_times"] += 1
         return service
 
     # -- pipeline stages -----------------------------------------------------------
@@ -266,6 +317,15 @@ class FleetAnalyzer:
 
     def analyze(self) -> FleetReport:
         """Evaluate the whole fleet and aggregate into a :class:`FleetReport`."""
+        with telemetry.get().span(
+            "fleet.analyze", users=len(self.population), edges=self.n_edges
+        ):
+            report = self._analyze()
+        if telemetry.get().enabled:
+            self._publish_cache_stats()
+        return report
+
+    def _analyze(self) -> FleetReport:
         candidates = self.candidates()
         decisions = self.policy.assign(candidates, self.n_edges)
         by_name = {candidate.name: candidate for candidate in candidates}

@@ -1,0 +1,69 @@
+"""repro.telemetry — structured tracing, metrics, and profiling hooks.
+
+A dependency-free instrumentation layer shared by every subsystem:
+
+* a process-local :class:`Telemetry` registry of counters, gauges and
+  mergeable :class:`~repro.telemetry.histogram.StreamingHistogram` sketches
+  (p50/p95/p99 without materializing samples),
+* nestable :meth:`~repro.telemetry.registry.Telemetry.span` timers that
+  record wall time into a span tree,
+* a no-op :data:`~repro.telemetry.registry.NULL_TELEMETRY` singleton that
+  keeps the whole layer disabled by default with near-zero overhead,
+* JSON snapshots that merge deterministically across process-pool shards
+  (:meth:`~repro.telemetry.registry.Telemetry.merge_snapshot`) and strip
+  down to a bit-deterministic payload (:func:`strip_timing`),
+* :func:`cache_report` over the module-level ``lru_cache`` surfaces, and
+  a profile formatter (:func:`format_profile`) behind ``repro profile``.
+
+Typical use::
+
+    from repro import telemetry
+
+    registry = telemetry.enable()           # fresh recording registry
+    ...  # run any workload; subsystems record into the active registry
+    print(telemetry.format_profile(registry.snapshot()))
+    telemetry.disable()
+
+Instrumentation sites call ``telemetry.get()`` and record unconditionally
+(the null registry ignores them), guarding only *extra computation* behind
+``telemetry.get().enabled``.
+"""
+
+from repro.telemetry.cache import cache_report
+from repro.telemetry.histogram import BUCKETS_PER_OCTAVE, StreamingHistogram
+from repro.telemetry.registry import (
+    NULL_TELEMETRY,
+    SPAN_TIMING_FIELDS,
+    TELEMETRY_SCHEMA_VERSION,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    activate,
+    disable,
+    enable,
+    get,
+    merge_snapshots,
+    save_snapshot,
+    strip_timing,
+)
+from repro.telemetry.report import format_profile
+
+__all__ = [
+    "BUCKETS_PER_OCTAVE",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SPAN_TIMING_FIELDS",
+    "Span",
+    "StreamingHistogram",
+    "TELEMETRY_SCHEMA_VERSION",
+    "Telemetry",
+    "activate",
+    "cache_report",
+    "disable",
+    "enable",
+    "format_profile",
+    "get",
+    "merge_snapshots",
+    "save_snapshot",
+    "strip_timing",
+]

@@ -366,3 +366,76 @@ class TestExperimentsCommand:
         output = capsys.readouterr().out
         assert "FAIL" in output
         assert "fig4_grid.points" in output
+
+
+class TestProfileAndTelemetry:
+    def test_profile_batch_prints_span_tree(self, capsys):
+        assert main(["profile", "batch"]) == 0
+        output = capsys.readouterr().out
+        assert "Telemetry profile" in output
+        assert "span tree" in output
+        assert "batch.evaluate_grid" in output
+        assert "lru_cache" in output
+
+    def test_profile_cosim_reports_convergence_counters(self, capsys):
+        assert main(["profile", "cosim", "--users", "8", "--epochs", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "cosim.run" in output
+        assert "cosim.epochs" in output
+        assert "cosim.best_response_iterations" in output
+        assert "cosim.iterations_per_epoch" in output
+
+    def test_profile_writes_snapshot_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "profile.json"
+        assert main(
+            ["profile", "adapt", "--epochs", "10", "--json", str(path)]
+        ) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["adaptive.epochs"] == 10
+        assert "adaptive.run" in snapshot["spans"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_profile_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "nonsense"])
+
+    def test_bench_telemetry_flag_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "telemetry.json"
+        assert main(
+            [
+                "bench",
+                "--points", "0",
+                "--fleet-users", "0",
+                "--adaptive-epochs", "20",
+                "--telemetry", str(path),
+            ]
+        ) == 0
+        snapshot = json.loads(path.read_text())
+        assert "bench.adaptive.control" in snapshot["spans"]
+        assert snapshot["counters"]["adaptive.epochs"] == 20
+        assert "wrote telemetry snapshot" in capsys.readouterr().out
+
+    def test_experiments_run_telemetry_flag_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "telemetry.json"
+        out = tmp_path / "manifest.json"
+        assert main(
+            [
+                "experiments",
+                "run",
+                "--select", "table1_analyze_xr1_local",
+                "--out", str(out),
+                "--telemetry", str(path),
+            ]
+        ) == 0
+        snapshot = json.loads(path.read_text())
+        assert "experiments.run" in snapshot["spans"]
+        assert snapshot["counters"]["experiments.scenarios"] == 1
+        assert "wrote telemetry snapshot" in capsys.readouterr().out
+        manifest = json.loads(out.read_text())
+        assert "telemetry" in manifest
