@@ -45,6 +45,8 @@ from repro.config.network import NetworkConfig
 from repro.core.coefficients import CoefficientSet
 from repro.core.offloading import placement_candidates
 from repro.exceptions import ConfigurationError
+from repro.faults.report import FaultOutcome, fault_outcome
+from repro.faults.schedule import EpochFaultState, FaultInjector, FaultSchedule
 from repro.simulation.des import EventScheduler
 
 #: Supported selection objectives (all are deadline-first; see
@@ -486,6 +488,66 @@ def build_adaptation_report(
     )
 
 
+def _fault_adjusted(
+    evaluation: CandidateEvaluation,
+    state: Optional[EpochFaultState],
+    offload_fraction: np.ndarray,
+) -> CandidateEvaluation:
+    """Apply a single-edge fault state to a candidate evaluation.
+
+    Link degradation is already folded into the epoch conditions before the
+    sweep, so only the edge-compute faults act here: an outage makes every
+    offloading candidate infeasible (infinite latency), while a brownout or
+    straggler inflates latency by the service-scale factor weighted by the
+    candidate's offloaded task share — a purely local candidate is untouched.
+    The runtime has no queueing model, so the offloaded share is the proxy
+    for how much of the end-to-end latency the edge contributes.
+    """
+    if state is None or not state.any_fault:
+        return evaluation
+    scale = state.service_scale(0)
+    if scale == 1.0:
+        return evaluation
+    latency = evaluation.latency_ms
+    if np.isinf(scale):
+        latency = np.where(offload_fraction > 0.0, np.inf, latency)
+    else:
+        latency = latency * (1.0 + (scale - 1.0) * offload_fraction)
+    return CandidateEvaluation(
+        latency_ms=latency,
+        energy_mj=evaluation.energy_mj,
+        min_roi=evaluation.min_roi,
+    )
+
+
+class _FaultView:
+    """A :class:`ControlContext` facade whose sweeps reflect a fault state.
+
+    Controllers receive this view instead of the raw context when the
+    runtime carries a fault schedule; every attribute delegates to the
+    wrapped context, but :meth:`sweep` overlays the current epoch's fault
+    state so deadline-aware controllers *see* the outage or brownout and can
+    steer around it.  The underlying memo stays fault-free, so the same
+    runtime can replay clean and faulted runs without cross-talk.
+    """
+
+    def __init__(self, context: ControlContext, offload_fraction: np.ndarray) -> None:
+        self._context = context
+        self._offload_fraction = offload_fraction
+        self._state: Optional[EpochFaultState] = None
+
+    def __getattr__(self, name: str):
+        return getattr(self._context, name)
+
+    def set_state(self, state: Optional[EpochFaultState]) -> None:
+        self._state = state
+
+    def sweep(self, conditions: EpochConditions) -> CandidateEvaluation:
+        return _fault_adjusted(
+            self._context.sweep(conditions), self._state, self._offload_fraction
+        )
+
+
 class AdaptiveRuntime:
     """Replay a condition trace against a controller and report the QoE.
 
@@ -510,6 +572,11 @@ class AdaptiveRuntime:
         prewarm: pre-fill the sweep cache for every trace epoch with one
             batched call (recommended; disable only to measure the
             per-epoch evaluation path).
+        faults: optional deterministic fault schedule replayed alongside the
+            trace.  The runtime models a single edge server (edge index 0):
+            link degradation reshapes each faulted epoch's conditions,
+            outages make offloading candidates infeasible, and brownouts or
+            stragglers inflate their latency (see :func:`_fault_adjusted`).
     """
 
     def __init__(
@@ -526,8 +593,11 @@ class AdaptiveRuntime:
         complexity_mode: str = "paper",
         include_aoi: bool = True,
         prewarm: bool = True,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.trace = trace
+        self.faults = faults
+        self._injector = FaultInjector(faults, 1) if faults is not None else None
         if candidates is None:
             candidates = default_candidates(
                 device=device, edge=edge, app=app, network=network
@@ -542,6 +612,12 @@ class AdaptiveRuntime:
         )
         self._frames_per_epoch = np.asarray(
             [trace.epoch_ms / p.app.frame_period_ms for p in self.context.candidates]
+        )
+        self._offload_fraction = np.asarray(
+            [
+                sum(p.app.inference.edge_shares) / p.app.inference.total_task
+                for p in self.context.candidates
+            ]
         )
         if prewarm:
             self.context.prewarm(trace)
@@ -571,19 +647,30 @@ class AdaptiveRuntime:
     def _run_loop(self, controller) -> AdaptationReport:
         trace = self.trace
         context = self.context
-        controller.reset(context)
+        registry = telemetry.get()
+        view: Optional[_FaultView] = None
+        if self._injector is not None:
+            view = _FaultView(context, self._offload_fraction)
+        ctx = view if view is not None else context
+        controller.reset(ctx)
         outcomes: List[EpochOutcome] = []
 
         def step(scheduler: EventScheduler) -> None:
             epoch = len(outcomes)
             conditions = trace[epoch]
-            index = int(controller.decide(epoch, conditions, context))
+            if self._injector is not None:
+                fault_state = self._injector.state(epoch)
+                conditions = fault_state.apply_to_conditions(conditions)
+                view.set_state(fault_state)
+                if registry.enabled and fault_state.any_fault:
+                    registry.add("faults.epochs_faulted")
+            index = int(controller.decide(epoch, conditions, ctx))
             if not 0 <= index < context.n_candidates:
                 raise ConfigurationError(
                     f"controller {controller.name!r} chose candidate {index}, "
                     f"but only {context.n_candidates} candidates exist"
                 )
-            evaluation = context.sweep(conditions)
+            evaluation = ctx.sweep(conditions)
             latency = float(evaluation.latency_ms[index])
             min_roi = (
                 float(evaluation.min_roi[index])
@@ -614,6 +701,22 @@ class AdaptiveRuntime:
         return build_adaptation_report(
             name, self.trace, self.context, self._frames_per_epoch, outcomes
         )
+
+    def fault_report(self, report: AdaptationReport) -> Optional[FaultOutcome]:
+        """Fault-recovery outcome of a run under this runtime's schedule.
+
+        Rebuilds the per-epoch deadline-miss series from the report (every
+        epoch's chosen latency against the run's deadline) and scores it
+        against the attached :class:`FaultSchedule` — availability, miss rate
+        inside vs. outside fault windows, and time-to-recover per window.
+        Returns None when the runtime has no schedule.
+        """
+        if self.faults is None:
+            return None
+        miss = [
+            1.0 if latency > report.deadline_ms else 0.0 for latency in report.latency_ms
+        ]
+        return fault_outcome(self.faults, 1, miss)
 
     # -- static references -------------------------------------------------------
 

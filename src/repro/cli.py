@@ -736,7 +736,10 @@ def _cmd_experiments_run(args: argparse.Namespace) -> int:
     suite = _resolve_suite(args.suite)
     runner = ExperimentRunner(suite)
     manifest = runner.run(
-        select=args.select, processes=args.processes, write=False
+        select=args.select,
+        processes=args.processes,
+        write=False,
+        task_timeout_s=args.task_timeout_s,
     )
     out = args.out if args.out else runner.manifest_path()
     manifest.save(out)
@@ -804,6 +807,157 @@ def _cmd_experiments_bench_check(args: argparse.Namespace) -> int:
         print()
         failed = failed or not report.passed
     return 1 if failed else 0
+
+
+def _resolve_fault_schedule(args: argparse.Namespace):
+    from repro.faults import make_schedule
+
+    overrides = {}
+    for key in ("start_epoch", "duration_epochs", "edge_index"):
+        value = getattr(args, key, None)
+        if value is not None:
+            overrides[key] = value
+    return make_schedule(args.schedule, **overrides)
+
+
+def _fault_timeline(schedule, n_epochs: int, n_edges: int) -> str:
+    """One character per epoch: '.' clean, 'X' dead edge(s), 'b' brownout,
+    '~' link fault, 's' straggler."""
+    chars = []
+    for epoch in range(n_epochs):
+        state = schedule.state_at(epoch, n_edges)
+        if state.n_edges_alive < n_edges:
+            chars.append("X")
+        elif state.availability < 1.0:
+            chars.append("b")
+        elif state.has_link_fault:
+            chars.append("~")
+        elif state.any_fault:
+            chars.append("s")
+        else:
+            chars.append(".")
+    return "".join(chars)
+
+
+def _cmd_faults_list(args: argparse.Namespace) -> int:
+    from repro.faults import FAULT_GENERATORS, FAULT_KINDS, make_schedule
+
+    del args
+    rows = []
+    for name in sorted(FAULT_GENERATORS):
+        schedule = make_schedule(name)
+        doc = (FAULT_GENERATORS[name].__doc__ or "").strip().splitlines()[0]
+        rows.append((name, str(len(schedule.events)), str(schedule.last_epoch), doc))
+    print(f"Bundled fault schedules — event kinds: {', '.join(FAULT_KINDS)}")
+    print(format_table(rows, headers=("schedule", "events", "last epoch", "description")))
+    return 0
+
+
+def _cmd_faults_describe(args: argparse.Namespace) -> int:
+    schedule = _resolve_fault_schedule(args)
+    print(schedule.describe())
+    n_epochs = args.epochs if args.epochs is not None else schedule.last_epoch + 4
+    timeline = _fault_timeline(schedule, n_epochs, args.edge_servers)
+    print(
+        f"\ntimeline over {n_epochs} epochs x {args.edge_servers} edge(s) "
+        f"('.'=clean 'X'=outage 'b'=brownout '~'=link 's'=straggler):"
+    )
+    print(f"  {timeline}")
+    return 0
+
+
+def _cmd_faults_run(args: argparse.Namespace) -> int:
+    import json
+
+    schedule = _resolve_fault_schedule(args)
+    payload = {"workload": args.workload, "schedule": schedule.to_dict()}
+    if args.workload == "cosim":
+        from repro.adaptive import make_trace
+        from repro.cosim import run_cosim
+        from repro.fleet import homogeneous
+
+        trace = make_trace(args.trace, args.epochs or 40, seed=args.seed)
+        report = run_cosim(
+            homogeneous(args.users, device=args.device),
+            _adapt_controller_instance(args.controller),
+            trace,
+            n_shards=args.shards,
+            edge=args.edge,
+            n_edges=args.edge_servers,
+            deadline_ms=args.deadline_ms,
+            include_aoi=False,
+            faults=schedule,
+        )
+        print(report.summary())
+        payload["report"] = report.to_dict()
+    elif args.workload == "adapt":
+        from repro.adaptive import AdaptiveRuntime, make_trace
+
+        trace = make_trace(args.trace, args.epochs or 40, seed=args.seed)
+        runtime = AdaptiveRuntime(
+            trace=trace,
+            device=args.device,
+            edge=args.edge,
+            deadline_ms=args.deadline_ms,
+            include_aoi=False,
+            faults=schedule,
+        )
+        report = runtime.run(_adapt_controller_instance(args.controller))
+        outcome = runtime.fault_report(report)
+        print(report.summary())
+        print(outcome.summary())
+        payload["report"] = report.to_dict()
+        payload["faults"] = outcome.to_dict()
+    else:  # fleet
+        from repro.fleet import FleetAnalyzer, GreedySLOAdmission, homogeneous
+
+        fault_epoch = (
+            args.fault_epoch
+            if args.fault_epoch is not None
+            else min(event.start_epoch for event in schedule.events)
+        )
+        state = schedule.state_at(fault_epoch, args.edge_servers)
+        report = FleetAnalyzer(
+            homogeneous(args.users, device=args.device),
+            edge=args.edge,
+            n_edges=args.edge_servers,
+            policy=GreedySLOAdmission(slo_ms=args.deadline_ms),
+            slo_ms=args.deadline_ms,
+            include_aoi=False,
+            fault_state=state,
+        ).analyze()
+        print(
+            f"Fleet under fault schedule {schedule.name!r} at epoch "
+            f"{fault_epoch} ({state.n_edges_alive}/{args.edge_servers} "
+            f"edges alive):\n"
+        )
+        print(report.summary())
+        payload["report"] = {
+            "availability": report.availability,
+            "n_edges_alive": report.n_edges_alive,
+            "fault_forced_local": report.fault_forced_local,
+            "p50_latency_ms": report.p50_latency_ms,
+            "p95_latency_ms": report.p95_latency_ms,
+            "p99_latency_ms": report.p99_latency_ms,
+            "slo_violations": report.slo_violations,
+            "edge_utilizations": list(report.edge_utilizations),
+        }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _adapt_controller_instance(name: str):
+    from repro.adaptive import EwmaPredictive, GreedyBatchSweep, HysteresisThreshold
+
+    return {
+        "hysteresis": HysteresisThreshold,
+        "greedy": GreedyBatchSweep,
+        "ewma": EwmaPredictive,
+    }[name]()
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -1135,6 +1289,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="manifest output path (default: results/manifests/<suite>.json)",
     )
     exp_run.add_argument(
+        "--task-timeout-s",
+        type=float,
+        default=None,
+        help="per-scenario wall-clock budget for pooled runs; a scenario "
+        "whose worker exceeds it is re-run serially (default: "
+        "REPRO_EXEC_TIMEOUT_S, unbounded when unset)",
+    )
+    exp_run.add_argument(
         "--telemetry",
         metavar="PATH",
         help="run with telemetry enabled and write the snapshot as JSON "
@@ -1193,6 +1355,95 @@ def build_parser() -> argparse.ArgumentParser:
         "default 0.6, overridable via REPRO_BENCH_TOLERANCE)",
     )
     exp_bench.set_defaults(handler=_cmd_experiments_bench_check)
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="deterministic fault injection: list/describe bundled schedules "
+        "and replay workloads under them",
+    )
+    fault_actions = faults.add_subparsers(dest="action", required=True)
+
+    flt_list = fault_actions.add_parser("list", help="print the bundled fault schedules")
+    flt_list.set_defaults(handler=_cmd_faults_list)
+
+    def _add_schedule_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--schedule",
+            required=True,
+            help="bundled schedule name (see 'repro faults list')",
+        )
+        parser.add_argument(
+            "--start-epoch", type=int, default=None, help="override the fault start epoch"
+        )
+        parser.add_argument(
+            "--duration-epochs", type=int, default=None, help="override the fault duration"
+        )
+        parser.add_argument(
+            "--edge-index", type=int, default=None, help="override the faulted edge"
+        )
+
+    flt_describe = fault_actions.add_parser(
+        "describe", help="print a schedule's events and per-epoch timeline"
+    )
+    _add_schedule_arguments(flt_describe)
+    flt_describe.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="timeline length (default: last fault epoch + 4)",
+    )
+    flt_describe.add_argument(
+        "--edge-servers", type=int, default=2, help="edge pool size for the timeline"
+    )
+    flt_describe.set_defaults(handler=_cmd_faults_describe)
+
+    flt_run = fault_actions.add_parser(
+        "run", help="replay a cosim/adapt/fleet workload under a fault schedule"
+    )
+    _add_schedule_arguments(flt_run)
+    flt_run.add_argument(
+        "--workload",
+        choices=("cosim", "adapt", "fleet"),
+        default="cosim",
+        help="which subsystem to drive (default: cosim)",
+    )
+    _add_device_arguments(flt_run)
+    flt_run.add_argument("--users", type=int, default=4, help="fleet size (cosim/fleet)")
+    flt_run.add_argument(
+        "--epochs", type=int, default=None, help="trace length (default: 40)"
+    )
+    flt_run.add_argument(
+        "--trace",
+        choices=("drift", "step", "burst", "mobility"),
+        default="step",
+        help="condition trace generator (cosim/adapt)",
+    )
+    flt_run.add_argument(
+        "--controller",
+        choices=("hysteresis", "greedy", "ewma"),
+        default="hysteresis",
+        help="adaptation controller (cosim/adapt)",
+    )
+    flt_run.add_argument("--seed", type=int, default=11, help="trace RNG seed")
+    flt_run.add_argument(
+        "--edge-servers", type=int, default=2, help="edge servers in the pool"
+    )
+    flt_run.add_argument(
+        "--shards", type=int, default=1, help="independent cells (cosim only)"
+    )
+    flt_run.add_argument(
+        "--deadline-ms", type=float, default=700.0, help="per-frame latency budget"
+    )
+    flt_run.add_argument(
+        "--fault-epoch",
+        type=int,
+        default=None,
+        help="epoch to sample the schedule at (fleet only; default: first fault epoch)",
+    )
+    flt_run.add_argument(
+        "--json", metavar="PATH", help="write the structured report as JSON"
+    )
+    flt_run.set_defaults(handler=_cmd_faults_run)
 
     tables = subparsers.add_parser("tables", help="print the Table I / II reproductions")
     tables.set_defaults(handler=_cmd_tables)

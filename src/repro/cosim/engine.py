@@ -77,6 +77,9 @@ from repro.core.coefficients import CoefficientSet
 from repro.core.framework import XRPerformanceModel
 from repro.cosim.results import CosimReport, ShardedCosimReport
 from repro.exceptions import ConfigurationError
+from repro.faults.execution import run_hardened
+from repro.faults.report import fault_outcome
+from repro.faults.schedule import EpochFaultState, FaultInjector, FaultSchedule
 from repro.fleet.contention import ContentionModel
 from repro.fleet.edge_scheduler import EdgeScheduler
 from repro.fleet.population import FleetPopulation, UserProfile
@@ -216,6 +219,15 @@ class CoSimulation:
             response).  Charged outcomes always use undamped final loads.
         prewarm: pre-fill each class's sweep cache for its exogenous trace
             with one batched call.
+        faults: optional :class:`~repro.faults.schedule.FaultSchedule`
+            injected into the closed loop — dead edges leave the
+            round-robin deal, brownouts and straggler windows inflate the
+            affected edges' service times, and link degradation scales the
+            exogenous channel before contention; controllers see the
+            faulted conditions and react.  The report then carries a
+            :class:`~repro.faults.report.FaultOutcome` with per-window miss
+            rates and time-to-recover.  ``None`` (the default) is bit-exact
+            with the pre-fault engine.
     """
 
     def __init__(
@@ -238,6 +250,7 @@ class CoSimulation:
         max_iterations: int = 8,
         damping: float = 0.5,
         prewarm: bool = True,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         if n_edges < 1:
             raise ConfigurationError(f"need at least one edge server, got {n_edges}")
@@ -269,6 +282,12 @@ class CoSimulation:
         self.include_aoi = include_aoi
         self.max_iterations = int(max_iterations)
         self.damping = float(damping)
+        self.faults = faults
+        # Validates edge targets against the pool up front and memoizes the
+        # per-epoch composed states.
+        self._injector = (
+            FaultInjector(faults, n_edges) if faults is not None else None
+        )
 
         self._n_users = len(self.population)
         self._models: Dict[object, XRPerformanceModel] = {}
@@ -436,7 +455,11 @@ class CoSimulation:
 
     # -- loads ----------------------------------------------------------------
 
-    def _loads(self, decisions: Sequence[Optional[int]]) -> _EpochLoads:
+    def _loads(
+        self,
+        decisions: Sequence[Optional[int]],
+        fault_state: Optional[EpochFaultState] = None,
+    ) -> _EpochLoads:
         """Edge loads and per-user waits implied by a decision vector.
 
         Replicates ``FleetAnalyzer.analyze`` operation for operation: users
@@ -445,6 +468,13 @@ class CoSimulation:
         that order (``np.cumsum`` preserves the scalar addition order), and
         every tenant's wait is the tagged M/G/1 wait of the *other* tenants'
         load — ``inf`` when the edge's aggregate load is unstable.
+
+        Under a fault state, dead edges leave the round-robin deal (the
+        survivors absorb the load) and each surviving edge's busy fraction
+        and waits are scaled by its effective service multiplier
+        (brownout/straggler).  With every edge dead, offloaders wait
+        forever.  A scale of exactly 1.0 leaves every float untouched, so
+        the no-fault path is bit-identical to the pre-fault engine.
         """
         classes = self._classes
         offload_c = np.asarray(
@@ -473,28 +503,55 @@ class CoSimulation:
         offloader_indices = np.flatnonzero(user_offloads)
         n_offloaded = int(offloader_indices.size)
         if n_offloaded:
-            edges = np.arange(n_offloaded, dtype=np.intp) % self.n_edges
             offloader_classes = self._class_of_user[offloader_indices]
+            alive = (
+                np.asarray(fault_state.alive_edges, dtype=np.intp)
+                if fault_state is not None
+                else np.arange(self.n_edges, dtype=np.intp)
+            )
+            if alive.size == 0:
+                # Every edge is down: offloaded frames never complete.
+                wait_user[offloader_indices] = math.inf
+                for cls_index in np.unique(offloader_classes):
+                    class_wait[(int(cls_index), 0)] = math.inf
+                return _EpochLoads(
+                    n_offloaded=n_offloaded,
+                    wait_user_ms=wait_user,
+                    edge_rate=edge_rate,
+                    edge_busy=edge_busy,
+                    class_wait_ms=class_wait,
+                )
+            edges = alive[np.arange(n_offloaded, dtype=np.intp) % alive.size]
             rate_u = rate_c[offloader_classes]
             busy_u = rate_u * service_c[offloader_classes]
             for edge_index in range(self.n_edges):
                 mask = edges == edge_index
                 if mask.any():
+                    scale = (
+                        fault_state.service_scale(edge_index)
+                        if fault_state is not None
+                        else 1.0
+                    )
                     edge_rate[edge_index] = np.cumsum(rate_u[mask])[-1]
-                    edge_busy[edge_index] = np.cumsum(busy_u[mask])[-1]
+                    edge_busy[edge_index] = np.cumsum(busy_u[mask])[-1] * scale
             for cls_index in np.unique(offloader_classes):
                 own_rate = float(rate_c[cls_index])
                 own_service = float(service_c[cls_index])
-                own_busy = own_rate * own_service
                 cls_mask = offloader_classes == cls_index
                 for edge_index in np.unique(edges[cls_mask]):
+                    scale = (
+                        fault_state.service_scale(edge_index)
+                        if fault_state is not None
+                        else 1.0
+                    )
+                    own_busy = own_rate * own_service * scale
                     if edge_busy[edge_index] >= 1.0:
                         wait = math.inf
                     else:
                         background = max(edge_rate[edge_index] - own_rate, 0.0)
                         background_busy = max(edge_busy[edge_index] - own_busy, 0.0)
                         wait = self.scheduler.tagged_waiting_time_ms(
-                            own_service,
+                            own_service * scale,
                             background,
                             background_busy / background if background > 0.0 else None,
                         )
@@ -509,7 +566,12 @@ class CoSimulation:
             class_wait_ms=class_wait,
         )
 
-    def _decision_wait(self, cls_index: int, loads: _EpochLoads) -> float:
+    def _decision_wait(
+        self,
+        cls_index: int,
+        loads: _EpochLoads,
+        fault_state: Optional[EpochFaultState] = None,
+    ) -> float:
         """The edge wait class ``cls_index`` should decide against.
 
         A class currently offloading sees the worst wait across the edges
@@ -517,6 +579,9 @@ class CoSimulation:
         A class currently local sees the wait a marginal tenant would face
         on the least-loaded edge given everyone else's load — zero on an
         idle deployment, so the single-user degeneracy is unaffected.
+        Under a fault state dead edges are out of bounds for the marginal
+        tenant (infinite wait when every edge is dead), and the tenant's
+        reference service time is scaled like the loads are.
         """
         waits = [
             wait
@@ -525,14 +590,27 @@ class CoSimulation:
         ]
         if waits:
             return max(waits)
-        edge_index = int(np.argmin(loads.edge_busy))
+        if fault_state is not None:
+            if fault_state.n_edges_alive == 0:
+                return math.inf
+            masked_busy = np.where(
+                np.asarray(fault_state.edge_capacity) > 0.0,
+                loads.edge_busy,
+                math.inf,
+            )
+            edge_index = int(np.argmin(masked_busy))
+        else:
+            edge_index = int(np.argmin(loads.edge_busy))
         if loads.edge_busy[edge_index] >= 1.0:
             return math.inf
         rate = float(loads.edge_rate[edge_index])
         if rate <= 0.0:
             return 0.0
+        scale = (
+            fault_state.service_scale(edge_index) if fault_state is not None else 1.0
+        )
         return self.scheduler.tagged_waiting_time_ms(
-            self._classes[cls_index].service_ref_ms,
+            self._classes[cls_index].service_ref_ms * scale,
             rate,
             float(loads.edge_busy[edge_index]) / rate,
         )
@@ -612,6 +690,7 @@ class CoSimulation:
                 "mean_energy",
                 "mean_quality",
                 "max_rho",
+                "availability",
             )
         }
         sample_values: List[np.ndarray] = []
@@ -695,6 +774,8 @@ class CoSimulation:
             total_energy_j=float(np.sum(user_energy_j)),
             mean_quality_overall=float(np.mean(series["mean_quality"])),
             switch_count=int(np.sum(user_switches)),
+            epoch_availability=tuple(series["availability"]),
+            faults=fault_outcome(self.faults, self.n_edges, series["miss_fraction"]),
         )
 
     def _run_epoch(
@@ -709,7 +790,14 @@ class CoSimulation:
         sample_counts: List[np.ndarray],
     ) -> None:
         classes = self._classes
+        fault_state = (
+            self._injector.state(epoch) if self._injector is not None else None
+        )
         base = [cls.trace[epoch] for cls in classes]
+        if fault_state is not None:
+            # Link degradation reshapes the exogenous channel *before*
+            # contention; edge-side faults act through the loads below.
+            base = [fault_state.apply_to_conditions(c) for c in base]
         snapshots = [copy.deepcopy(cls.controller) for cls in classes]
         decisions: List[Optional[int]] = list(self._prev_decisions)
         prev_wait: List[Optional[float]] = [None] * len(classes)
@@ -725,10 +813,10 @@ class CoSimulation:
 
         while iterations < self.max_iterations:
             iterations += 1
-            loads = self._loads(decisions)
+            loads = self._loads(decisions, fault_state)
             loads_current = True
             exact_wait = [
-                self._decision_wait(cls_index, loads)
+                self._decision_wait(cls_index, loads, fault_state)
                 for cls_index in range(len(classes))
             ]
             exact_thr = [
@@ -796,13 +884,19 @@ class CoSimulation:
             registry.add("cosim.best_response_iterations", iterations)
             registry.add("cosim.damping_blends", n_blends)
             registry.record("cosim.iterations_per_epoch", iterations)
+            if fault_state is not None and fault_state.any_fault:
+                registry.add("faults.epochs_faulted")
+                registry.add(
+                    "faults.edges_dead",
+                    fault_state.n_edges - fault_state.n_edges_alive,
+                )
 
         # Charge outcomes with the exact (undamped) loads of the final
         # decisions — the realised regime, self-consistent when converged.
         # Every converged exit leaves `loads` computed for exactly this
         # decision vector; only budget-exhausted exits need a recomputation.
         if not loads_current:
-            loads = self._loads(decisions)
+            loads = self._loads(decisions, fault_state)
         n_classes = len(classes)
         latency_c = np.empty(n_classes)
         energy_c = np.empty(n_classes)
@@ -848,6 +942,9 @@ class CoSimulation:
         series["mean_energy"].append(float(np.mean(energy_user)))
         series["mean_quality"].append(float(np.mean(quality_c[class_ids])))
         series["max_rho"].append(float(loads.edge_busy.max()))
+        series["availability"].append(
+            fault_state.availability if fault_state is not None else 1.0
+        )
         values, counts = np.unique(latency_user, return_counts=True)
         sample_values.append(values)
         sample_counts.append(counts)
@@ -901,24 +998,30 @@ def run_cosim(
     trace: TraceLike,
     *,
     n_shards: int = 1,
+    shard_timeout_s: Optional[float] = None,
     **kwargs,
 ) -> Union[CosimReport, ShardedCosimReport]:
     """Run a co-simulation, optionally sharded across independent cells.
 
-    With ``n_shards <= 1`` this is exactly ``CoSimulation(...).run()``.
+    With ``n_shards == 1`` this is exactly ``CoSimulation(...).run()``.
     Otherwise the population is partitioned round-robin into ``n_shards``
     independent cells — each with its own Wi-Fi channel and ``n_edges``
-    edge servers — and the shards run in a process pool (falling back to
-    in-process execution when a pool cannot be used, e.g. unpicklable
-    controller factories; the merged result is identical either way because
-    shards are deterministic and merged in shard order).
+    edge servers — and the shards run through the hardened pool seam
+    (:func:`repro.faults.execution.run_hardened`): unpicklable
+    specifications fall back to in-process execution, and a shard whose
+    worker crashes or exceeds ``shard_timeout_s`` is re-executed serially
+    while completed shards keep their results.  Shards are deterministic
+    and merged in shard order, so every recovery path produces a result
+    bit-identical to the all-serial run.
     """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
     population = (
         population
         if isinstance(population, FleetPopulation)
         else FleetPopulation(users=tuple(population))
     )
-    if n_shards <= 1:
+    if n_shards == 1:
         return CoSimulation(population, controller, trace, **kwargs).run()
     if n_shards > len(population):
         raise ConfigurationError(
@@ -936,29 +1039,14 @@ def run_cosim(
         )
         for shard in range(n_shards)
     ]
-    # Fall back to in-process execution only for *pool-availability*
-    # problems (unpicklable specifications, sandboxed interpreters, broken
-    # worker pools); a genuine simulation error inside a shard must
-    # propagate, not trigger a silent serial re-run of every shard.
-    import concurrent.futures
-    import pickle
-
     with registry.span("cosim.run_sharded", users=len(population), shards=n_shards):
-        try:
-            pickle.dumps(payloads[0])
-            pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_shards)
-        except (pickle.PicklingError, AttributeError, TypeError, OSError, ImportError):
-            pool = None
-        if pool is None:
-            results = [_run_shard(payload) for payload in payloads]
-        else:
-            try:
-                with pool:
-                    results = list(pool.map(_run_shard, payloads))
-            except concurrent.futures.process.BrokenProcessPool:
-                # Workers could not be spawned or were killed by the
-                # environment; the serial path produces the identical result.
-                results = [_run_shard(payload) for payload in payloads]
+        results = run_hardened(
+            _run_shard,
+            payloads,
+            max_workers=n_shards,
+            timeout_s=shard_timeout_s,
+            label="exec",
+        )
         with registry.span("cosim.merge_shards", shards=n_shards):
             # Shard snapshots merge in shard order (associative, so any
             # grouping agrees on every deterministic field).

@@ -22,11 +22,12 @@ Degeneracies (asserted by the test suite):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.adaptive.runtime import AdaptationReport
+from repro.faults.report import FaultOutcome
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,11 @@ class CosimReport:
         total_energy_j: fleet energy integrated over all frames of the run.
         mean_quality_overall: mean quality over all (user, epoch) samples.
         switch_count: total operating-point switches across all users.
+        epoch_availability: per-epoch edge-pool capacity fraction (all ones
+            when no fault schedule was active; empty on reports predating
+            fault injection).
+        faults: fault-conditioned recovery summary, or ``None`` when the
+            run had no fault schedule.
     """
 
     n_users: int
@@ -109,6 +115,38 @@ class CosimReport:
     total_energy_j: float
     mean_quality_overall: float
     switch_count: int
+    epoch_availability: Tuple[float, ...] = ()
+    faults: Optional[FaultOutcome] = None
+
+    # -- fault diagnostics ----------------------------------------------------
+
+    @property
+    def availability(self) -> float:
+        """Run-mean edge-pool capacity fraction (1.0 without faults)."""
+        if self.faults is not None:
+            return self.faults.availability
+        if self.epoch_availability:
+            return float(np.mean(self.epoch_availability))
+        return 1.0
+
+    @property
+    def fault_miss_rate(self) -> float:
+        """Mean miss fraction over faulted epochs (0.0 without faults)."""
+        return self.faults.fault_miss_rate if self.faults is not None else 0.0
+
+    @property
+    def fault_epoch_fraction(self) -> float:
+        """Fraction of epochs with any fault active (0.0 without faults)."""
+        return self.faults.fault_epoch_fraction if self.faults is not None else 0.0
+
+    @property
+    def mean_time_to_recover_epochs(self) -> float:
+        """Mean epochs-to-recover across fault windows (0.0 without faults)."""
+        return (
+            self.faults.mean_time_to_recover_epochs
+            if self.faults is not None
+            else 0.0
+        )
 
     # -- convergence diagnostics ---------------------------------------------
 
@@ -157,6 +195,8 @@ class CosimReport:
             f"  energy: {self.total_energy_j:.1f} J fleet total, "
             f"{self.switch_count} operating-point switches",
         ]
+        if self.faults is not None:
+            lines.append(f"  {self.faults.summary()}")
         for name, size, report in zip(
             self.class_names, self.class_sizes, self.class_reports
         ):
@@ -204,6 +244,8 @@ class CosimReport:
             "total_energy_j": self.total_energy_j,
             "mean_quality_overall": self.mean_quality_overall,
             "switch_count": self.switch_count,
+            "epoch_availability": list(self.epoch_availability),
+            "faults": self.faults.to_dict() if self.faults is not None else None,
         }
 
 
@@ -226,6 +268,12 @@ class ShardedCosimReport:
             percentiles of the per-user mean latency across all shards.
         total_energy_j: fleet energy across shards.
         switch_count: total operating-point switches across shards.
+        availability: mean per-shard edge-pool capacity fraction (1.0 when
+            no shard ran under a fault schedule).
+        fault_miss_rate: user-weighted mean miss fraction over faulted
+            epochs across shards.
+        fault_epoch_fraction: mean fraction of epochs with a fault active.
+        mean_time_to_recover_epochs: mean per-shard time-to-recover.
     """
 
     shards: Tuple[CosimReport, ...]
@@ -236,6 +284,10 @@ class ShardedCosimReport:
     fleet_p99_latency_ms: float
     total_energy_j: float
     switch_count: int
+    availability: float = 1.0
+    fault_miss_rate: float = 0.0
+    fault_epoch_fraction: float = 0.0
+    mean_time_to_recover_epochs: float = 0.0
 
     @classmethod
     def from_shards(cls, shards: Tuple[CosimReport, ...]) -> "ShardedCosimReport":
@@ -254,15 +306,29 @@ class ShardedCosimReport:
         p50, p95, p99 = (
             float(np.percentile(user_means, q, method=method)) for q in (50, 95, 99)
         )
+        n_users = sum(shard.n_users for shard in shards)
         return cls(
             shards=tuple(shards),
-            n_users=sum(shard.n_users for shard in shards),
+            n_users=n_users,
             deadline_miss_rate=float(np.mean(user_miss)),
             fleet_p50_latency_ms=p50,
             fleet_p95_latency_ms=p95,
             fleet_p99_latency_ms=p99,
             total_energy_j=float(sum(shard.total_energy_j for shard in shards)),
             switch_count=sum(shard.switch_count for shard in shards),
+            availability=float(
+                np.mean([shard.availability for shard in shards])
+            ),
+            fault_miss_rate=float(
+                sum(shard.fault_miss_rate * shard.n_users for shard in shards)
+                / n_users
+            ),
+            fault_epoch_fraction=float(
+                np.mean([shard.fault_epoch_fraction for shard in shards])
+            ),
+            mean_time_to_recover_epochs=float(
+                np.mean([shard.mean_time_to_recover_epochs for shard in shards])
+            ),
         )
 
     @property
@@ -312,5 +378,9 @@ class ShardedCosimReport:
             "fleet_p99_latency_ms": self.fleet_p99_latency_ms,
             "total_energy_j": self.total_energy_j,
             "switch_count": self.switch_count,
+            "availability": self.availability,
+            "fault_miss_rate": self.fault_miss_rate,
+            "fault_epoch_fraction": self.fault_epoch_fraction,
+            "mean_time_to_recover_epochs": self.mean_time_to_recover_epochs,
             "shards": [shard.to_dict() for shard in self.shards],
         }

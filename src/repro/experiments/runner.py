@@ -157,6 +157,14 @@ def _fleet_metrics(spec: ScenarioSpec) -> Dict[str, object]:
         "energy": EnergyAwareAdmission,
         "round-robin": RoundRobinAdmission,
     }[policy_name]()
+    fault_state = None
+    schedule = spec.build_faults()
+    if schedule is not None:
+        # A fleet analysis is a steady-state snapshot, so the schedule is
+        # sampled at one epoch: ``fault_epoch`` if given, else the first
+        # epoch any event is active.
+        epoch = int(params.get("fault_epoch", min(e.start_epoch for e in schedule.events)))
+        fault_state = schedule.state_at(epoch, n_edges)
     report = FleetAnalyzer(
         population,
         edge=spec.edge,
@@ -165,6 +173,7 @@ def _fleet_metrics(spec: ScenarioSpec) -> Dict[str, object]:
         policy=policy,
         slo_ms=slo_ms,
         include_aoi=bool(params.get("include_aoi", False)),
+        fault_state=fault_state,
     ).analyze()
     metrics: Dict[str, object] = {
         "n_users": users,
@@ -176,6 +185,10 @@ def _fleet_metrics(spec: ScenarioSpec) -> Dict[str, object]:
         "slo_violations": int(report.slo_violations),
         "max_edge_utilization": float(max(report.edge_utilizations, default=0.0)),
     }
+    if fault_state is not None:
+        metrics["availability"] = float(report.availability)
+        metrics["n_edges_alive"] = int(report.n_edges_alive)
+        metrics["fault_forced_local"] = int(report.fault_forced_local)
     if params.get("plan_capacity", False):
         plan = plan_capacity(
             device=spec.device,
@@ -221,6 +234,7 @@ def _adapt_metrics(spec: ScenarioSpec) -> Dict[str, object]:
         deadline_ms=float(params.get("deadline_ms", 700.0)),
         objective=params.get("objective", "quality"),
         include_aoi=bool(params.get("include_aoi", False)),
+        faults=spec.build_faults(),
     )
     controller_name = params.get("controller", "greedy")
     if controller_name == "static":
@@ -241,6 +255,12 @@ def _adapt_metrics(spec: ScenarioSpec) -> Dict[str, object]:
     }
     if report.aoi_violation_rate is not None:
         metrics["aoi_violation_rate"] = float(report.aoi_violation_rate)
+    outcome = runtime.fault_report(report)
+    if outcome is not None:
+        metrics["availability"] = float(outcome.availability)
+        metrics["fault_miss_rate"] = float(outcome.fault_miss_rate)
+        metrics["fault_epoch_fraction"] = float(outcome.fault_epoch_fraction)
+        metrics["mean_time_to_recover_epochs"] = float(outcome.mean_time_to_recover_epochs)
     return metrics
 
 
@@ -264,6 +284,7 @@ def _cosim_metrics(spec: ScenarioSpec) -> Dict[str, object]:
     population = homogeneous(
         int(params.get("users", 64)), device=spec.device, app=spec.build_app()
     )
+    faults = spec.build_faults()
     report = run_cosim(
         population,
         controller,
@@ -277,6 +298,7 @@ def _cosim_metrics(spec: ScenarioSpec) -> Dict[str, object]:
         include_aoi=bool(params.get("include_aoi", False)),
         max_iterations=int(params.get("max_iterations", 8)),
         damping=float(params.get("damping", 0.5)),
+        faults=faults,
     )
     metrics: Dict[str, object] = {
         "n_users": int(report.n_users),
@@ -294,6 +316,13 @@ def _cosim_metrics(spec: ScenarioSpec) -> Dict[str, object]:
         value = getattr(report, name, None)
         if value is not None:
             metrics[name] = float(value) if name != "n_unconverged_epochs" else int(value)
+    if faults is not None:
+        # Both report shapes carry the fault surface (the sharded merge
+        # aggregates it user-weighted across shards).
+        metrics["availability"] = float(report.availability)
+        metrics["fault_miss_rate"] = float(report.fault_miss_rate)
+        metrics["fault_epoch_fraction"] = float(report.fault_epoch_fraction)
+        metrics["mean_time_to_recover_epochs"] = float(report.mean_time_to_recover_epochs)
     return metrics
 
 
@@ -544,7 +573,11 @@ class ExperimentRunner:
         return self.manifest_dir / f"{self.suite.name}.json"
 
     def run(
-        self, select: Optional[Sequence[str]] = None, processes: int = 0, write: bool = True
+        self,
+        select: Optional[Sequence[str]] = None,
+        processes: int = 0,
+        write: bool = True,
+        task_timeout_s: Optional[float] = None,
     ) -> RunManifest:
         """Run the (sub-)suite and return its manifest.
 
@@ -555,14 +588,20 @@ class ExperimentRunner:
                 baseline.
             processes: worker processes; 0/1 runs serially in-process.  The
                 serial path is the reference: pooled runs produce the same
-                metric payload and fall back to serial execution when no
-                pool can be created.
+                metric payload, and scenarios whose worker crashes, hangs
+                past ``task_timeout_s`` or cannot be pickled are re-run
+                serially (see :func:`repro.faults.execution.run_hardened`).
             write: write the manifest to :meth:`manifest_path`.
+            task_timeout_s: per-scenario wall-clock budget for pooled runs
+                (default: the ``REPRO_EXEC_TIMEOUT_S`` environment variable,
+                unbounded when unset).
         """
+        if processes < 0:
+            raise ConfigurationError(f"processes must be >= 0, got {processes}")
         suite = self.suite if select is None else self.suite.select(select)
         registry = telemetry.get()
         with registry.span("experiments.run", scenarios=len(suite.specs)) as sp:
-            results = self._run_specs(suite.specs, processes)
+            results = self._run_specs(suite.specs, processes, task_timeout_s)
         manifest = RunManifest(
             suite=suite.name,
             spec_hash=suite.spec_hash(),
@@ -578,31 +617,30 @@ class ExperimentRunner:
         return manifest
 
     @staticmethod
-    def _run_specs(specs: Sequence[ScenarioSpec], processes: int) -> List[ScenarioResult]:
+    def _run_specs(
+        specs: Sequence[ScenarioSpec],
+        processes: int,
+        task_timeout_s: Optional[float] = None,
+    ) -> List[ScenarioResult]:
         if processes <= 1 or len(specs) <= 1:
             return [run_scenario(spec) for spec in specs]
-        # Same pool discipline as repro.cosim.run_cosim: only
-        # pool-availability problems fall back to the serial path; a
-        # genuine scenario error is captured in its ScenarioResult either
-        # way, so the merged manifest is identical.
-        import concurrent.futures
-        import pickle
+        # The hardened pool seam (shared with repro.cosim.run_cosim)
+        # recovers per-scenario: a crashed or timed-out worker costs one
+        # serial re-run of that scenario, completed scenarios keep their
+        # results, and the merged manifest is bit-identical to the
+        # all-serial path.  A genuine scenario error is captured in its
+        # ScenarioResult either way.
+        from repro.faults.execution import run_hardened
 
         registry = telemetry.get()
         payloads = [(spec, registry.enabled) for spec in specs]
-        try:
-            pickle.dumps(payloads[0])
-            pool = concurrent.futures.ProcessPoolExecutor(max_workers=min(processes, len(specs)))
-        except (pickle.PicklingError, AttributeError, TypeError, OSError, ImportError):
-            pool = None
-        if pool is None:
-            results = [_run_scenario_captured(payload) for payload in payloads]
-        else:
-            try:
-                with pool:
-                    results = list(pool.map(_run_scenario_captured, payloads))
-            except concurrent.futures.process.BrokenProcessPool:
-                results = [_run_scenario_captured(payload) for payload in payloads]
+        results = run_hardened(
+            _run_scenario_captured,
+            payloads,
+            max_workers=min(processes, len(specs)),
+            timeout_s=task_timeout_s,
+            label="exec",
+        )
         # Worker snapshots merge in scenario order (associative, so any
         # grouping agrees on every deterministic field).
         for _, snapshot in results:

@@ -54,6 +54,7 @@ _PARAM_KEYS: Dict[str, Tuple[str, ...]] = {
         "mixed_devices",
         "plan_capacity",
         "include_aoi",
+        "fault_epoch",
     ),
     "adapt": (
         "trace",
@@ -110,9 +111,23 @@ _SPEC_KEYS = (
     "app",
     "network",
     "params",
+    "faults",
     "expected",
     "tolerances",
 )
+
+#: Kinds that accept a ``[scenario.faults]`` section (the static
+#: ``analyze``/``sweep`` workloads have no epoch axis to fault).
+_FAULT_KINDS = ("fleet", "adapt", "cosim")
+
+
+def _plain(value: object) -> object:
+    """Recursively coerce a parsed TOML/JSON tree to dicts/lists/scalars."""
+    if isinstance(value, Mapping):
+        return {key: _plain(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(entry) for entry in value]
+    return value
 
 
 def _ensure_str_float_map(name: str, value: Mapping) -> Dict[str, float]:
@@ -143,6 +158,12 @@ class ScenarioSpec:
         app: scalar :class:`ApplicationConfig` field overrides.
         network: scalar :class:`NetworkConfig` field overrides.
         params: kind-specific workload parameters (see ``_PARAM_KEYS``).
+        faults: optional fault-schedule payload for ``fleet``/``adapt``/
+            ``cosim`` scenarios — either a bundled-generator reference
+            (``schedule = "edge-outage"`` plus overrides) or inline
+            ``events`` tables, exactly the :func:`repro.faults.build_schedule`
+            surface.  Validated at construction; materialised by
+            :meth:`build_faults`.
         expected: metric name -> value the run must reproduce (checked by
             the runner within the metric's tolerance).
         tolerances: metric name -> relative tolerance used both for
@@ -159,6 +180,7 @@ class ScenarioSpec:
     app: Dict[str, object] = field(default_factory=dict)
     network: Dict[str, object] = field(default_factory=dict)
     params: Dict[str, object] = field(default_factory=dict)
+    faults: Dict[str, object] = field(default_factory=dict)
     expected: Dict[str, float] = field(default_factory=dict)
     tolerances: Dict[str, float] = field(default_factory=dict)
 
@@ -192,6 +214,14 @@ class ScenarioSpec:
                     f"{key!r}; allowed: {sorted(allowed_params)}"
                 )
         self._validate_params()
+        if self.faults:
+            if self.kind not in _FAULT_KINDS:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} (kind {self.kind!r}): faults are only "
+                    f"supported for kinds {list(_FAULT_KINDS)}"
+                )
+            # Materialise once to surface schedule errors at load time.
+            self.build_faults()
         self.expected = _ensure_str_float_map(f"scenario {self.name!r} expected", self.expected)
         self.tolerances = _ensure_str_float_map(
             f"scenario {self.name!r} tolerances", self.tolerances
@@ -242,6 +272,13 @@ class ScenarioSpec:
                         f"scenario {self.name!r}: {key} must be a non-empty list of "
                         f"positive numbers, got {values!r}"
                     )
+        if "fault_epoch" in params:
+            value = params["fault_epoch"]
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: fault_epoch must be a non-negative "
+                    f"integer, got {value!r}"
+                )
         if "mixed_devices" in params:
             devices = params["mixed_devices"]
             if not isinstance(devices, (list, tuple)) or not devices:
@@ -262,6 +299,18 @@ class ScenarioSpec:
         """The scenario's :class:`NetworkConfig` with overrides applied."""
         return NetworkConfig(**self.network) if self.network else NetworkConfig()
 
+    def build_faults(self):
+        """The scenario's :class:`~repro.faults.FaultSchedule`, or None.
+
+        Imported lazily so loading a fault-free suite never touches the
+        faults subsystem.
+        """
+        if not self.faults:
+            return None
+        from repro.faults import build_schedule
+
+        return build_schedule(self.faults)
+
     # -- serialisation -------------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -280,6 +329,7 @@ class ScenarioSpec:
                 key: list(value) if isinstance(value, (list, tuple)) else value
                 for key, value in self.params.items()
             },
+            "faults": _plain(self.faults),
             "expected": dict(self.expected),
             "tolerances": dict(self.tolerances),
         }
@@ -299,7 +349,7 @@ class ScenarioSpec:
             if required not in payload:
                 raise ConfigurationError(f"scenario spec is missing the {required!r} key")
         kwargs = dict(payload)
-        for mapping_key in ("app", "network", "params", "expected", "tolerances"):
+        for mapping_key in ("app", "network", "params", "faults", "expected", "tolerances"):
             if mapping_key in kwargs and not isinstance(kwargs[mapping_key], Mapping):
                 raise ConfigurationError(
                     f"scenario {kwargs.get('name')!r}: {mapping_key} must be a "

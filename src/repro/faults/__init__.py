@@ -1,0 +1,59 @@
+"""Deterministic fault injection and hardened execution.
+
+The package has three layers:
+
+- :mod:`repro.faults.schedule` — the declarative model: seeded,
+  serializable :class:`FaultSchedule` objects composing epoch-indexed
+  :class:`FaultEvent` windows (edge outages, brownouts, link degradation,
+  straggler windows) into per-epoch :class:`EpochFaultState` views that
+  the fleet, adaptive and cosim engines consume;
+- :mod:`repro.faults.report` — recovery metrics: per-fault-window miss
+  rates and time-to-recover epochs folded into a :class:`FaultOutcome`;
+- :mod:`repro.faults.execution` — :func:`run_hardened`, the shared
+  process-pool seam with per-task timeout, bounded retry and serial
+  re-execution of only the failed tasks.
+"""
+
+from repro.faults.execution import (
+    CHAOS_HANG_ENV,
+    CHAOS_HANG_TASK_ENV,
+    CHAOS_KILL_ENV,
+    EXEC_TIMEOUT_ENV,
+    default_timeout_s,
+    run_hardened,
+)
+from repro.faults.report import FaultOutcome, FaultWindow, fault_outcome
+from repro.faults.scenarios import (
+    FAULT_GENERATORS,
+    build_schedule,
+    fault_schedule_names,
+    make_schedule,
+)
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    EpochFaultState,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+)
+
+__all__ = [
+    "CHAOS_HANG_ENV",
+    "CHAOS_HANG_TASK_ENV",
+    "CHAOS_KILL_ENV",
+    "EXEC_TIMEOUT_ENV",
+    "FAULT_GENERATORS",
+    "FAULT_KINDS",
+    "EpochFaultState",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultOutcome",
+    "FaultSchedule",
+    "FaultWindow",
+    "build_schedule",
+    "default_timeout_s",
+    "fault_outcome",
+    "fault_schedule_names",
+    "make_schedule",
+    "run_hardened",
+]

@@ -26,6 +26,7 @@ sees zero queueing, so the reported numbers equal
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import telemetry
@@ -37,6 +38,7 @@ from repro.core.framework import XRPerformanceModel
 from repro.core.results import PerformanceReport
 from repro.devices.catalog import get_edge_server
 from repro.exceptions import ConfigurationError
+from repro.faults.schedule import EpochFaultState
 from repro.fleet.admission import (
     AdmissionPolicy,
     PlacementDecision,
@@ -86,6 +88,14 @@ class FleetAnalyzer:
         complexity_mode: CNN-complexity mode forwarded to the per-device
             models.
         include_aoi: evaluate the AoI model per user (on by default).
+        fault_state: optional composed fault state (one epoch of a
+            :class:`~repro.faults.schedule.FaultSchedule`): dead edges leave
+            the admission pool (offload-preferring users re-route to the
+            survivors, or run locally when none remain), brownout/straggler
+            windows inflate the affected edges' service times, and link
+            degradation reshapes the shared channel before contention.  The
+            report then carries availability/degradation metrics.  ``None``
+            (the default) is bit-exact with the pre-fault analyzer.
     """
 
     def __init__(
@@ -101,6 +111,7 @@ class FleetAnalyzer:
         slo_ms: Optional[float] = None,
         complexity_mode: str = "paper",
         include_aoi: bool = True,
+        fault_state: Optional[EpochFaultState] = None,
     ) -> None:
         if n_edges < 1:
             raise ConfigurationError(f"need at least one edge server, got {n_edges}")
@@ -108,6 +119,16 @@ class FleetAnalyzer:
         self.edge = _resolve_edge(edge)
         self.n_edges = n_edges
         self.network = network if network is not None else NetworkConfig()
+        if fault_state is not None:
+            if fault_state.n_edges != n_edges:
+                raise ConfigurationError(
+                    f"fault state describes {fault_state.n_edges} edge(s), "
+                    f"but the analyzer has {n_edges}"
+                )
+            # Link degradation reshapes the channel before contention (the
+            # default contention model below wraps the faulted network).
+            self.network = fault_state.apply_to_network(self.network)
+        self.fault_state = fault_state
         self.coefficients = coefficients if coefficients is not None else CoefficientSet.paper()
         self.policy = policy if policy is not None else RoundRobinAdmission()
         self.contention = (
@@ -325,9 +346,58 @@ class FleetAnalyzer:
             self._publish_cache_stats()
         return report
 
+    def _placements_under_faults(
+        self, candidates: List[UserCandidate]
+    ) -> Tuple[List[PlacementDecision], int]:
+        """Placements re-routed around dead edges.
+
+        The admission policy sees only the surviving edges (as *slots*);
+        its slot indices are then mapped back onto the physical pool.  With
+        no edge alive every offload-preferring user is forced local.  With
+        no fault state the policy sees the full pool untouched.
+        """
+        fault_state = self.fault_state
+        if fault_state is None:
+            return self.policy.assign(candidates, self.n_edges), 0
+        alive = fault_state.alive_edges
+        if not alive:
+            forced_local = sum(1 for c in candidates if c.wants_offload)
+            decisions = [
+                PlacementDecision(
+                    name=candidate.name,
+                    offload=False,
+                    edge_index=None,
+                    reason=(
+                        "forced local: every edge server is down"
+                        if candidate.wants_offload
+                        else "profile prefers local inference"
+                    ),
+                )
+                for candidate in candidates
+            ]
+            return decisions, forced_local
+        if len(alive) == self.n_edges:
+            return self.policy.assign(candidates, self.n_edges), 0
+        slot_decisions = self.policy.assign(candidates, len(alive))
+        decisions = [
+            replace(
+                decision,
+                edge_index=alive[decision.edge_index],
+                reason=(
+                    f"re-routed to edge {alive[decision.edge_index]} "
+                    f"(degraded pool: {len(alive)}/{self.n_edges} alive)"
+                ),
+            )
+            if decision.offload and decision.edge_index is not None
+            else decision
+            for decision in slot_decisions
+        ]
+        return decisions, 0
+
     def _analyze(self) -> FleetReport:
+        fault_state = self.fault_state
         candidates = self.candidates()
-        decisions = self.policy.assign(candidates, self.n_edges)
+        decisions, forced_local = self._placements_under_faults(candidates)
         by_name = {candidate.name: candidate for candidate in candidates}
 
         offloaders = [decision for decision in decisions if decision.offload]
@@ -336,6 +406,14 @@ class FleetAnalyzer:
             self.contention.network_for(n_stations) if n_stations else self.network
         )
 
+        # Service-time multiplier per edge (1.0 everywhere absent faults;
+        # multiplying by exactly 1.0 leaves every float untouched, keeping
+        # the no-fault path bit-identical).
+        edge_scale = [
+            fault_state.service_scale(index) if fault_state is not None else 1.0
+            for index in range(self.n_edges)
+        ]
+
         # Offered load per edge server.
         edge_rates = [0.0] * self.n_edges
         edge_busy = [0.0] * self.n_edges
@@ -343,7 +421,9 @@ class FleetAnalyzer:
             candidate = by_name[decision.name]
             edge_rates[decision.edge_index] += candidate.arrival_rate_per_ms
             edge_busy[decision.edge_index] += (
-                candidate.arrival_rate_per_ms * candidate.service_time_ms
+                candidate.arrival_rate_per_ms
+                * candidate.service_time_ms
+                * edge_scale[decision.edge_index]
             )
 
         # Batch-evaluate the outcome reports that candidates() did not already
@@ -376,6 +456,7 @@ class FleetAnalyzer:
                     user.app, ExecutionMode.REMOTE
                 )
                 network = contended
+                scale = edge_scale[decision.edge_index]
                 if edge_busy[decision.edge_index] >= 1.0:
                     # The edge cannot sustain its aggregate offered load:
                     # no tenant on it has a steady state, however small its
@@ -388,11 +469,13 @@ class FleetAnalyzer:
                     )
                     background_busy = max(
                         edge_busy[decision.edge_index]
-                        - candidate.arrival_rate_per_ms * candidate.service_time_ms,
+                        - candidate.arrival_rate_per_ms
+                        * candidate.service_time_ms
+                        * scale,
                         0.0,
                     )
                     wait_ms = self.scheduler.tagged_waiting_time_ms(
-                        candidate.service_time_ms,
+                        candidate.service_time_ms * scale,
                         background,
                         background_busy / background if background > 0.0 else None,
                     )
@@ -424,6 +507,24 @@ class FleetAnalyzer:
                     aoi_fresh_fraction=fresh_fraction,
                 )
             )
+        if fault_state is not None:
+            registry = telemetry.get()
+            if registry.enabled and fault_state.any_fault:
+                registry.add("faults.fleet.analyses")
+                registry.add("faults.fleet.forced_local", forced_local)
+                registry.add(
+                    "faults.fleet.edges_dead",
+                    fault_state.n_edges - fault_state.n_edges_alive,
+                )
         return FleetReport.from_outcomes(
-            outcomes, edge_utilizations=edge_busy, slo_ms=self.slo_ms
+            outcomes,
+            edge_utilizations=edge_busy,
+            slo_ms=self.slo_ms,
+            availability=(
+                fault_state.availability if fault_state is not None else 1.0
+            ),
+            n_edges_alive=(
+                fault_state.n_edges_alive if fault_state is not None else None
+            ),
+            fault_forced_local=forced_local,
         )

@@ -73,6 +73,12 @@ class FleetReport:
         edge_utilizations: utilisation of every edge server in index order.
         slo_ms: the SLO the fleet was analysed against (None when unset).
         slo_violations: number of users missing the SLO (0 when unset).
+        availability: fraction of the edge pool's nominal capacity available
+            during the analysis (1.0 absent fault injection).
+        n_edges_alive: edges still in the pool under the analysed fault
+            state (None absent fault injection).
+        fault_forced_local: offload-preferring users forced to run locally
+            because no edge was alive.
     """
 
     outcomes: Tuple[UserOutcome, ...]
@@ -85,6 +91,9 @@ class FleetReport:
     edge_utilizations: Tuple[float, ...] = ()
     slo_ms: Optional[float] = None
     slo_violations: int = 0
+    availability: float = 1.0
+    n_edges_alive: Optional[int] = None
+    fault_forced_local: int = 0
 
     @classmethod
     def from_outcomes(
@@ -92,6 +101,9 @@ class FleetReport:
         outcomes: Sequence[UserOutcome],
         edge_utilizations: Sequence[float] = (),
         slo_ms: Optional[float] = None,
+        availability: float = 1.0,
+        n_edges_alive: Optional[int] = None,
+        fault_forced_local: int = 0,
     ) -> "FleetReport":
         """Aggregate per-user outcomes into a fleet report.
 
@@ -113,6 +125,9 @@ class FleetReport:
                 edge_utilizations=tuple(float(rho) for rho in edge_utilizations),
                 slo_ms=slo_ms,
                 slo_violations=0,
+                availability=availability,
+                n_edges_alive=n_edges_alive,
+                fault_forced_local=fault_forced_local,
             )
         latencies = np.asarray([outcome.latency_ms for outcome in outcomes], dtype=float)
         energies = np.asarray([outcome.energy_mj for outcome in outcomes], dtype=float)
@@ -138,6 +153,9 @@ class FleetReport:
             edge_utilizations=tuple(float(rho) for rho in edge_utilizations),
             slo_ms=slo_ms,
             slo_violations=violations,
+            availability=availability,
+            n_edges_alive=n_edges_alive,
+            fault_forced_local=fault_forced_local,
         )
 
     # -- derived quantities -------------------------------------------------
@@ -201,6 +219,20 @@ class FleetReport:
                 for rho in self.edge_utilizations
             )
             lines.extend(["", f"Edge load (rho): {utilizations}"])
+        if self.availability != 1.0 or self.fault_forced_local:
+            alive = (
+                f"{self.n_edges_alive} edge(s) alive, "
+                if self.n_edges_alive is not None
+                else ""
+            )
+            lines.extend(
+                [
+                    "",
+                    f"Faults: {alive}availability "
+                    f"{self.availability * 100.0:.0f}%, "
+                    f"{self.fault_forced_local} user(s) forced local",
+                ]
+            )
         if self.slo_ms is not None:
             lines.extend(
                 [

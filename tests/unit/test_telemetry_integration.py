@@ -113,7 +113,9 @@ class TestShardedSnapshotMerge:
             )
         serial = registry.snapshot()["counters"]
         # Shard populations are round-robin halves of the same homogeneous
-        # fleet, so per-shard dynamics equal the 4-user serial runs.
+        # fleet, so per-shard dynamics equal the 4-user serial runs.  The
+        # sharded run additionally books its pool tasks under exec.*.
+        assert sharded.pop("exec.tasks") == 2
         assert sharded == serial
 
 
