@@ -40,7 +40,14 @@ Networks"* (Mallik, Xie, Han — ICDCS 2024).  The package provides:
   attributable JSON run manifest, and regression gates that compare
   manifests and bench payloads against committed baselines — the single
   entry point CI uses to detect correctness and performance drift
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`),
+* a figure/analytics layer over the persisted artifacts: a stdlib-only
+  row-oriented :class:`~repro.figures.Table` with manifest / telemetry /
+  bench flatteners, a :class:`~repro.figures.RunHistory` index turning a
+  directory of manifests into per-metric time series, a registry of
+  figure builders that re-render every committed ``results/`` artifact
+  byte-identically (plus CSV and Vega-Lite sidecars), and structural
+  telemetry-snapshot diffing (:mod:`repro.figures`).
 
 Quickstart::
 
@@ -128,7 +135,17 @@ from repro.experiments import (
     compare_manifests,
     load_suite,
 )
-from repro import telemetry
+from repro.figures import (
+    FigureInputs,
+    RunHistory,
+    SnapshotDiff,
+    Table,
+    build_all,
+    build_figure,
+    check_figures,
+    diff_snapshots,
+)
+from repro import figures, telemetry
 
 __all__ = [
     "AdaptationReport",
@@ -157,6 +174,7 @@ __all__ = [
     "EnergyBreakdown",
     "ExecutionMode",
     "ExperimentRunner",
+    "FigureInputs",
     "FleetAnalyzer",
     "FleetPopulation",
     "FleetReport",
@@ -169,6 +187,7 @@ __all__ = [
     "ParameterGrid",
     "PerformanceReport",
     "RegressionReport",
+    "RunHistory",
     "RunManifest",
     "ScenarioSpec",
     "ScenarioSuite",
@@ -177,18 +196,25 @@ __all__ = [
     "SessionAnalyzer",
     "SessionReport",
     "ShardedCosimReport",
+    "SnapshotDiff",
     "SweepConfig",
+    "Table",
     "UserProfile",
     "WorkloadConfig",
     "XRDevice",
     "XREnergyModel",
     "XRLatencyModel",
     "XRPerformanceModel",
+    "build_all",
+    "build_figure",
     "bundled_suite",
     "calibrated_coefficients",
+    "check_figures",
     "compare_manifests",
+    "diff_snapshots",
     "evaluate_grid",
     "evaluate_points",
+    "figures",
     "get_cnn",
     "get_device",
     "get_edge_server",

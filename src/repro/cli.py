@@ -21,8 +21,15 @@ Installed as ``python -m repro``.  Subcommands:
   ``check`` a manifest against a committed baseline (the CI regression
   gate), and ``bench-check`` a ``bench --json`` payload against the
   committed ``BENCH_*.json`` baselines,
+* ``figures``  — the figure registry: ``list`` the builders, ``build``
+  text/CSV/Vega-Lite artifact triples under ``results/figures/``, and
+  ``check`` that every committed ``results/*.txt`` artifact re-renders
+  byte-identically (the CI drift gate),
 * ``tables``   — print the Table I / Table II reproductions,
 * ``validate`` — quick model-vs-simulated-testbed validation (Fig. 4 style).
+
+``profile --diff A B`` structurally compares two saved telemetry snapshots
+(span trees, counters, histogram percentiles) instead of profiling.
 
 Every subcommand prints plain text tables; nothing is written to disk except
 by ``validate`` (which stores artefacts under ``results/``).
@@ -659,6 +666,19 @@ _PROFILE_WORKLOADS = {
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.diff:
+        from repro.figures import diff_snapshot_files
+
+        diff = diff_snapshot_files(args.diff[0], args.diff[1])
+        print(diff.to_text())
+        return 0 if diff.max_counter_delta == 0.0 else 1
+    if args.workload is None:
+        print(
+            "error: a workload is required unless --diff is given "
+            f"(choose from {', '.join(sorted(_PROFILE_WORKLOADS))})",
+            file=sys.stderr,
+        )
+        return 2
     registry = telemetry.enable()
     try:
         description = _PROFILE_WORKLOADS[args.workload](args)
@@ -950,6 +970,80 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _figure_inputs(args: argparse.Namespace):
+    from repro.figures import FigureInputs
+
+    snapshots = getattr(args, "snapshot", None)
+    return FigureInputs(
+        quick=getattr(args, "quick", False),
+        manifest_path=args.manifest,
+        history_dir=args.history,
+        snapshot_paths=tuple(snapshots) if snapshots else None,
+    )
+
+
+def _cmd_figures_list(args: argparse.Namespace) -> int:
+    from repro.figures import FIGURES
+
+    del args
+    rows = [
+        (spec.name, spec.source, spec.artifact or "-", spec.description)
+        for spec in FIGURES.values()
+    ]
+    print(f"Registered figures — {len(rows)} builders")
+    print(format_table(rows, headers=("name", "source", "gated artifact", "description")))
+    return 0
+
+
+def _cmd_figures_build(args: argparse.Namespace) -> int:
+    from repro.figures import FIGURES, build_all
+
+    names = None
+    if not args.all:
+        if not args.names:
+            print(
+                "error: name one or more figures or pass --all "
+                f"(known: {', '.join(FIGURES)})",
+                file=sys.stderr,
+            )
+            return 2
+        names = args.names
+    inputs = _figure_inputs(args)
+    built = build_all(inputs, names=names)
+    for figure in built:
+        paths = figure.save(args.out)
+        print(f"built {figure.name}: " + ", ".join(str(path) for path in paths))
+    skipped = len(FIGURES) - len(built) if args.all else 0
+    if skipped:
+        print(
+            f"({skipped} snapshot-sourced figure(s) skipped; pass "
+            "--snapshot A --snapshot B to build them)"
+        )
+    return 0
+
+
+def _cmd_figures_check(args: argparse.Namespace) -> int:
+    from repro.figures import check_figures
+
+    # Byte-identity needs the full (non-quick) generator parameters; the
+    # committed artifacts were rendered with them.
+    inputs = _figure_inputs(args)
+    outcomes = check_figures(inputs, results_dir=args.results)
+    rows = [(outcome.name, outcome.artifact, outcome.status) for outcome in outcomes]
+    print(f"Figure drift check against {args.results or 'results/'}")
+    print(format_table(rows, headers=("figure", "artifact", "status")))
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        print(
+            f"\n{len(failed)} artifact(s) drifted or missing — regenerate with "
+            "'repro figures build --all' and commit the refreshed files if "
+            "the change is intentional"
+        )
+        return 1
+    print(f"\nall {len(outcomes)} committed artifacts reproduce byte-identically")
+    return 0
+
+
 def _adapt_controller_instance(name: str):
     from repro.adaptive import EwmaPredictive, GreedyBatchSweep, HysteresisThreshold
 
@@ -1234,8 +1328,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "workload",
+        nargs="?",
         choices=sorted(_PROFILE_WORKLOADS),
-        help="which subsystem workload to profile",
+        help="which subsystem workload to profile (omit when using --diff)",
+    )
+    profile.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        help="structurally diff two saved telemetry snapshots instead of "
+        "profiling; exits non-zero when the snapshots disagree on any "
+        "counter or span call-count",
     )
     _add_device_arguments(profile)
     profile.add_argument(
@@ -1444,6 +1547,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the structured report as JSON"
     )
     flt_run.set_defaults(handler=_cmd_faults_run)
+
+    figures = subparsers.add_parser(
+        "figures",
+        help="figure registry: list builders, build text/CSV/Vega-Lite "
+        "artifacts, or check committed results/ artifacts for drift",
+    )
+    figure_actions = figures.add_subparsers(dest="action", required=True)
+
+    fig_list = figure_actions.add_parser("list", help="print the registered figure builders")
+    fig_list.set_defaults(handler=_cmd_figures_list)
+
+    def _add_figure_input_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--manifest",
+            default="results/manifests/baseline.json",
+            help="run manifest feeding the dashboard figures",
+        )
+        parser.add_argument(
+            "--history",
+            default="results/manifests",
+            help="manifest directory feeding the run-history figure",
+        )
+        parser.add_argument(
+            "--snapshot",
+            action="append",
+            metavar="PATH",
+            help="telemetry snapshot for diff figures (pass twice: A then B)",
+        )
+
+    fig_build = figure_actions.add_parser(
+        "build", help="build figures into text + CSV + Vega-Lite files"
+    )
+    fig_build.add_argument("names", nargs="*", help="figure names (see 'figures list')")
+    fig_build.add_argument("--all", action="store_true", help="build every registered figure")
+    fig_build.add_argument(
+        "--out",
+        default="results/figures",
+        help="output directory (default: results/figures, git-ignored)",
+    )
+    fig_build.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced generator sweeps (not byte-identical to committed artifacts)",
+    )
+    _add_figure_input_arguments(fig_build)
+    fig_build.set_defaults(handler=_cmd_figures_build)
+
+    fig_check = figure_actions.add_parser(
+        "check",
+        help="re-render every committed results/ text artifact through the "
+        "registry and fail on any byte difference",
+    )
+    fig_check.add_argument(
+        "--results",
+        default=None,
+        help="directory holding the committed artifacts (default: results/)",
+    )
+    _add_figure_input_arguments(fig_check)
+    fig_check.set_defaults(handler=_cmd_figures_check)
 
     tables = subparsers.add_parser("tables", help="print the Table I / II reproductions")
     tables.set_defaults(handler=_cmd_tables)

@@ -84,6 +84,24 @@ class MetricDrift:
     current: Optional[float] = None
     tolerance: Optional[float] = None
 
+    @property
+    def relative_error(self) -> float:
+        """``|current - baseline| / |baseline|`` for numeric drifts.
+
+        NaN/inf mismatches and zero baselines rank as ``inf`` (maximally
+        severe); non-numeric reasons (missing scenario/metric, statuses)
+        rank as NaN so callers can keep them out of numeric orderings.
+        """
+        if self.baseline is None or self.current is None:
+            return float("nan")
+        if math.isnan(self.baseline) or math.isnan(self.current):
+            return float("inf")
+        if math.isinf(self.baseline) or math.isinf(self.current):
+            return 0.0 if self.baseline == self.current else float("inf")
+        if self.baseline == 0.0:
+            return 0.0 if self.current == 0.0 else float("inf")
+        return abs(self.current - self.baseline) / abs(self.baseline)
+
     def describe(self) -> str:
         if self.reason == "missing-scenario":
             return f"{self.scenario}: scenario present in the baseline but not in this run"
@@ -140,7 +158,14 @@ class RegressionReport:
         return not self.drifts
 
     def summary(self) -> str:
-        """Multi-line pass/fail report naming every drifted metric."""
+        """Multi-line pass/fail report naming every drifted metric.
+
+        Numeric drifts print as one aligned
+        ``scenario/metric  baseline  actual  rel_err`` line each, sorted by
+        relative error descending, so the worst offender is always the
+        first line under the FAIL header; structural failures (missing
+        scenarios/metrics, statuses, spec-hash drift) follow as prose.
+        """
         header = (
             f"Regression gate: {self.current_label} vs {self.baseline_label} — "
             f"{self.n_compared} metrics across {self.n_scenarios} scenarios"
@@ -150,9 +175,29 @@ class RegressionReport:
         lines = [header]
         if self.passed:
             lines.append("PASS: every baseline metric reproduced within tolerance")
-        else:
-            lines.append(f"FAIL: {len(self.drifts)} drifted metric(s)")
-            lines.extend(f"  - {drift.describe()}" for drift in self.drifts)
+            return "\n".join(lines)
+        lines.append(f"FAIL: {len(self.drifts)} drifted metric(s)")
+        numeric = sorted(
+            (d for d in self.drifts if not math.isnan(d.relative_error)),
+            key=lambda d: d.relative_error,
+            reverse=True,
+        )
+        if numeric:
+            from repro.evaluation.report import format_table
+
+            rows = [
+                (
+                    f"{drift.scenario}/{drift.metric}",
+                    f"{drift.baseline:.6g}",
+                    f"{drift.current:.6g}",
+                    f"{drift.relative_error:.3g}",
+                )
+                for drift in numeric
+            ]
+            table = format_table(rows, headers=("scenario/metric", "baseline", "actual", "rel_err"))
+            lines.extend(f"  {line}" for line in table.splitlines())
+        structural = [d for d in self.drifts if math.isnan(d.relative_error)]
+        lines.extend(f"  - {drift.describe()}" for drift in structural)
         return "\n".join(lines)
 
 

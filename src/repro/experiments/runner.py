@@ -30,9 +30,26 @@ from repro import telemetry
 from repro._version import __version__
 from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.spec import ScenarioSpec, ScenarioSuite
+from repro.schema import check_schema
 
-#: Manifest schema version (bump when the JSON layout changes shape).
-MANIFEST_SCHEMA_VERSION = 1
+#: Manifest schema version ("MAJOR.MINOR": bump the major when the JSON
+#: layout changes shape, the minor when fields are added).  Loading accepts
+#: any 1.x manifest — older minors (including the legacy bare ``1``) load
+#: silently, newer minors and unknown top-level keys degrade with a single
+#: warning — see :func:`repro.schema.check_schema`.
+MANIFEST_SCHEMA_VERSION = "1.1"
+
+#: Top-level manifest keys this reader understands; anything else is
+#: ignored with a warning instead of breaking consumers silently.
+_MANIFEST_KEYS = (
+    "suite",
+    "spec_hash",
+    "repro_version",
+    "git_sha",
+    "total_wall_time_s",
+    "scenarios",
+    "telemetry",
+)
 
 #: Default directory run manifests are written to.
 DEFAULT_MANIFEST_DIR = Path("results") / "manifests"
@@ -398,7 +415,7 @@ class RunManifest:
     scenarios: Tuple[ScenarioResult, ...]
     repro_version: str = __version__
     git_sha: Optional[str] = None
-    schema_version: int = MANIFEST_SCHEMA_VERSION
+    schema_version: Union[int, str] = MANIFEST_SCHEMA_VERSION
     total_wall_time_s: float = 0.0
     #: Telemetry snapshot of the run (present only when the run was
     #: telemetry-enabled).  Stripped by :meth:`metric_payload` exactly like
@@ -433,11 +450,13 @@ class RunManifest:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "RunManifest":
-        if payload.get("schema_version") != MANIFEST_SCHEMA_VERSION:
-            raise ConfigurationError(
-                f"unsupported manifest schema_version "
-                f"{payload.get('schema_version')!r} (expected {MANIFEST_SCHEMA_VERSION})"
-            )
+        check_schema(
+            payload,
+            current=MANIFEST_SCHEMA_VERSION,
+            known_keys=_MANIFEST_KEYS,
+            consumer="run manifest",
+            error=ConfigurationError,
+        )
         return cls(
             suite=payload["suite"],
             spec_hash=payload["spec_hash"],

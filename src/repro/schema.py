@@ -1,0 +1,106 @@
+"""Schema-version compatibility for the repo's persisted JSON documents.
+
+Run manifests (:mod:`repro.experiments.runner`) and telemetry snapshots
+(:mod:`repro.telemetry`) are long-lived JSON artifacts: baselines are
+committed, CI archives fresh copies, and the figure registry
+(:mod:`repro.figures`) reads both back.  This module makes the loading
+contract explicit instead of implicit:
+
+* Versions are ``"MAJOR.MINOR"`` strings (a bare integer is the legacy
+  spelling of ``MAJOR.0``).
+* **Same major, minor <= current**: loads silently — older documents stay
+  readable forever within a major line.
+* **Same major, minor > current**: loads with a single warning — a newer
+  writer may only have *added* fields, and additions must not strand
+  otherwise-valid data.
+* **Different major**: refused — the layout changed shape.
+* **Unknown top-level keys**: ignored with a single warning naming every
+  unknown key, so a document from a newer minor version degrades gracefully
+  instead of breaking consumers silently.
+
+Stdlib-only on purpose: :mod:`repro.telemetry` imports this from hot paths
+and must never pull NumPy or the model packages.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable, Mapping, Tuple, Type, Union
+
+SchemaVersion = Union[int, str]
+
+
+def parse_version(value: object) -> Tuple[int, int]:
+    """Parse a schema version into ``(major, minor)``.
+
+    Accepts the legacy bare-integer spelling (``1`` -> ``(1, 0)``) and
+    ``"MAJOR"`` / ``"MAJOR.MINOR"`` strings.  Raises :class:`ValueError`
+    for anything else.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"invalid schema version {value!r}")
+    if isinstance(value, int):
+        return (value, 0)
+    if isinstance(value, str):
+        parts = value.split(".")
+        if len(parts) in (1, 2):
+            try:
+                numbers = [int(part) for part in parts]
+            except ValueError:
+                raise ValueError(f"invalid schema version {value!r}") from None
+            if all(number >= 0 for number in numbers):
+                return (numbers[0], numbers[1] if len(numbers) == 2 else 0)
+    raise ValueError(f"invalid schema version {value!r}")
+
+
+def check_schema(
+    payload: Mapping,
+    *,
+    current: SchemaVersion,
+    known_keys: Iterable[str],
+    consumer: str,
+    error: Type[Exception] = ValueError,
+) -> Tuple[int, int]:
+    """Validate ``payload``'s ``schema_version`` and top-level key set.
+
+    Returns the parsed ``(major, minor)`` of the document.  Raises
+    ``error`` when the version is missing, unparseable, or from a different
+    major line; warns (once per call, via :mod:`warnings`) when the document
+    is from a newer minor version or carries unknown top-level keys.
+
+    Args:
+        payload: the decoded JSON document.
+        current: this reader's schema version.
+        known_keys: every top-level key this reader understands
+            (``schema_version`` itself is always known).
+        consumer: short document name for error/warning text
+            (e.g. ``"run manifest"``).
+        error: exception type raised for hard incompatibilities.
+    """
+    raw = payload.get("schema_version")
+    if raw is None:
+        raise error(f"{consumer} has no schema_version field")
+    try:
+        major, minor = parse_version(raw)
+    except ValueError:
+        raise error(f"{consumer} has unsupported schema_version {raw!r}") from None
+    current_major, current_minor = parse_version(current)
+    if major != current_major:
+        raise error(
+            f"unsupported {consumer} schema_version {raw!r} "
+            f"(this reader supports {current_major}.x, up to "
+            f"{current_major}.{current_minor})"
+        )
+    if minor > current_minor:
+        warnings.warn(
+            f"{consumer} schema_version {raw!r} is newer than this reader "
+            f"({current_major}.{current_minor}); loading the known fields",
+            stacklevel=2,
+        )
+    unknown = sorted(set(payload) - set(known_keys) - {"schema_version"})
+    if unknown:
+        warnings.warn(
+            f"{consumer}: ignoring unknown top-level key(s) {', '.join(unknown)}",
+            stacklevel=2,
+        )
+    return (major, minor)

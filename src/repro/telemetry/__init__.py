@@ -42,6 +42,7 @@ from repro.telemetry.registry import (
     disable,
     enable,
     get,
+    load_snapshot,
     merge_snapshots,
     save_snapshot,
     strip_timing,
@@ -63,6 +64,7 @@ __all__ = [
     "enable",
     "format_profile",
     "get",
+    "load_snapshot",
     "merge_snapshots",
     "save_snapshot",
     "strip_timing",

@@ -39,10 +39,19 @@ import json
 import time
 from typing import Dict, List, Mapping, Optional, Union
 
+from repro.schema import check_schema
 from repro.telemetry.histogram import StreamingHistogram
 
-#: Snapshot schema version (bump when the JSON layout changes shape).
-TELEMETRY_SCHEMA_VERSION = 1
+#: Snapshot schema version ("MAJOR.MINOR": bump the major when the JSON
+#: layout changes shape, the minor when fields are added).  Loading accepts
+#: any 1.x document — see :func:`repro.schema.check_schema` for the exact
+#: forward/backward-compatibility contract (the legacy bare ``1`` written
+#: by older snapshots reads as ``1.0``).
+TELEMETRY_SCHEMA_VERSION = "1.1"
+
+#: Top-level snapshot keys this reader understands; anything else is
+#: ignored with a warning instead of breaking the consumer.
+_SNAPSHOT_KEYS = ("counters", "gauges", "histograms", "spans")
 
 #: Span-node keys that carry wall time.  :func:`strip_timing` removes
 #: exactly these (everything else in a snapshot is deterministic).
@@ -237,12 +246,12 @@ class Telemetry:
         foreign means).  Shards merged in any grouping therefore agree on
         every deterministic field.
         """
-        version = payload.get("schema_version")
-        if version != TELEMETRY_SCHEMA_VERSION:
-            raise ValueError(
-                f"unsupported telemetry schema_version {version!r} "
-                f"(expected {TELEMETRY_SCHEMA_VERSION})"
-            )
+        check_schema(
+            payload,
+            current=TELEMETRY_SCHEMA_VERSION,
+            known_keys=_SNAPSHOT_KEYS,
+            consumer="telemetry snapshot",
+        )
         for name, value in (payload.get("counters") or {}).items():
             self.add(name, value)
         for name, value in (payload.get("gauges") or {}).items():
@@ -370,6 +379,29 @@ def merge_snapshots(snapshots: List[Mapping]) -> dict:
     for snapshot in snapshots:
         merged.merge_snapshot(snapshot)
     return merged.snapshot()
+
+
+def load_snapshot(path) -> dict:
+    """Read a snapshot written by :func:`save_snapshot`, version-checked.
+
+    Older 1.x snapshots (including the legacy integer ``schema_version: 1``)
+    load cleanly; unknown top-level keys are dropped with a single warning;
+    a different major version raises :class:`ValueError`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"telemetry snapshot {str(path)!r} is not a JSON object")
+    check_schema(
+        payload,
+        current=TELEMETRY_SCHEMA_VERSION,
+        known_keys=_SNAPSHOT_KEYS,
+        consumer="telemetry snapshot",
+    )
+    return {
+        "schema_version": payload["schema_version"],
+        **{key: payload.get(key) or {} for key in _SNAPSHOT_KEYS},
+    }
 
 
 def save_snapshot(snapshot: Mapping, path) -> None:

@@ -296,7 +296,10 @@ class TestExperimentsCommand:
         )
         output = capsys.readouterr().out
         assert "FAIL" in output
-        assert "point.total_latency_ms" in output
+        # Drifting metrics render as an aligned scenario/metric table with
+        # the relative error as its own column.
+        assert "point/total_latency_ms" in output
+        assert "rel_err" in output
 
     def test_run_select_subset(self, tmp_path, capsys):
         suite = self._suite_file(tmp_path)
@@ -365,7 +368,7 @@ class TestExperimentsCommand:
         )
         output = capsys.readouterr().out
         assert "FAIL" in output
-        assert "fig4_grid.points" in output
+        assert "fig4_grid/points" in output
 
 
 class TestProfileAndTelemetry:

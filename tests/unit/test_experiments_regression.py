@@ -70,7 +70,7 @@ class TestCompareManifests:
         assert drift.scenario == "scn"
         assert drift.metric == "latency"
         assert drift.reason == "drift"
-        assert "scn.latency" in report.summary()
+        assert "scn/latency" in report.summary()
 
     def test_tolerance_boundary_passes_just_beyond_fails(self):
         baseline = _manifest({"latency": 100.0}, tolerances={"latency": 0.05})
@@ -185,7 +185,7 @@ class TestCompareBench:
         (drift,) = report.drifts
         assert drift.reason == "slower"
         assert drift.metric == "batch_points_per_s"
-        assert "below the baseline" in report.summary()
+        assert "grid_1000/batch_points_per_s" in report.summary()
 
     def test_correctness_metric_is_two_sided_and_tight(self):
         report = compare_bench(_bench_payload(p95=275.1), _bench_payload(p95=275.0))

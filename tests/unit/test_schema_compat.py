@@ -1,0 +1,165 @@
+"""Forward-compatibility pins for the persisted JSON document schemas.
+
+Run manifests and telemetry snapshots are long-lived artifacts (committed
+baselines, CI archives); these tests pin the loading contract of
+:mod:`repro.schema`: legacy bare-int versions load, older/newer minors of
+the same major load (newer warns once), unknown top-level keys are ignored
+with a single warning, and a different major is refused.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    ScenarioResult,
+)
+from repro.schema import check_schema, parse_version
+from repro.telemetry import Telemetry, load_snapshot, merge_snapshots, save_snapshot
+from repro.telemetry.registry import TELEMETRY_SCHEMA_VERSION
+
+
+class TestParseVersion:
+    def test_legacy_bare_int_is_major_dot_zero(self):
+        assert parse_version(1) == (1, 0)
+        assert parse_version(3) == (3, 0)
+
+    def test_major_and_major_minor_strings(self):
+        assert parse_version("1") == (1, 0)
+        assert parse_version("1.4") == (1, 4)
+
+    @pytest.mark.parametrize("bad", ["", "a", "1.a", "1.2.3", "-1", True, None, 1.5])
+    def test_invalid_versions_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_version(bad)
+
+
+class TestCheckSchema:
+    def test_same_major_older_minor_loads_silently(self, recwarn):
+        check_schema(
+            {"schema_version": "1.0", "a": 1}, current="1.3", known_keys=("a",), consumer="doc"
+        )
+        assert len(recwarn) == 0
+
+    def test_newer_minor_warns_once_and_loads(self):
+        with pytest.warns(UserWarning, match="newer than this reader"):
+            major, minor = check_schema(
+                {"schema_version": "1.9"}, current="1.1", known_keys=(), consumer="doc"
+            )
+        assert (major, minor) == (1, 9)
+
+    def test_unknown_keys_warn_once_listing_every_key(self):
+        with pytest.warns(UserWarning, match="zeta.*zulu") as record:
+            check_schema(
+                {"schema_version": "1.0", "a": 1, "zulu": 2, "zeta": 3},
+                current="1.1",
+                known_keys=("a",),
+                consumer="doc",
+            )
+        assert len(record) == 1
+
+    def test_major_mismatch_raises_requested_error_type(self):
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            check_schema(
+                {"schema_version": "2.0"},
+                current="1.1",
+                known_keys=(),
+                consumer="doc",
+                error=ConfigurationError,
+            )
+
+    def test_missing_version_raises(self):
+        with pytest.raises(ValueError, match="no schema_version"):
+            check_schema({}, current="1.1", known_keys=(), consumer="doc")
+
+
+def _manifest_payload(**overrides):
+    payload = RunManifest(
+        suite="s",
+        spec_hash="a" * 64,
+        scenarios=(ScenarioResult(name="x", kind="analyze", status="ok", metrics={"m": 1.0}),),
+    ).to_dict()
+    payload.update(overrides)
+    return payload
+
+
+class TestManifestCompat:
+    def test_current_version_is_major_minor_string(self):
+        assert parse_version(MANIFEST_SCHEMA_VERSION)[0] == 1
+
+    def test_legacy_int_manifest_still_loads(self):
+        manifest = RunManifest.from_dict(_manifest_payload(schema_version=1))
+        assert manifest.result_for("x").metrics["m"] == 1.0
+
+    def test_committed_baseline_loads(self):
+        # The committed baseline intentionally stays on the legacy spelling
+        # so this path is exercised by every CI gate run.
+        repo_root = Path(__file__).resolve().parents[2]
+        manifest = RunManifest.load(repo_root / "results" / "manifests" / "baseline.json")
+        assert manifest.scenarios
+
+    def test_unknown_top_level_key_ignored_with_warning(self):
+        with pytest.warns(UserWarning, match="future_field"):
+            manifest = RunManifest.from_dict(_manifest_payload(future_field={"x": 1}))
+        assert manifest.suite == "s"
+
+    def test_newer_minor_loads_with_warning(self):
+        with pytest.warns(UserWarning, match="newer than this reader"):
+            RunManifest.from_dict(_manifest_payload(schema_version="1.99"))
+
+    def test_different_major_refused(self):
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            RunManifest.from_dict(_manifest_payload(schema_version="2.0"))
+
+    def test_round_trip_preserves_version(self, tmp_path):
+        path = tmp_path / "m.json"
+        RunManifest(suite="s", spec_hash="a" * 64, scenarios=()).save(path)
+        assert json.loads(path.read_text())["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert RunManifest.load(path).schema_version == MANIFEST_SCHEMA_VERSION
+
+
+def _snapshot_file(tmp_path, **overrides):
+    registry = Telemetry()
+    registry.add("frames", 2)
+    path = tmp_path / "snap.json"
+    save_snapshot(registry.snapshot(), path)
+    if overrides:
+        payload = json.loads(path.read_text())
+        payload.update(overrides)
+        path.write_text(json.dumps(payload))
+    return path
+
+
+class TestTelemetrySnapshotCompat:
+    def test_load_snapshot_round_trip(self, tmp_path):
+        snapshot = load_snapshot(_snapshot_file(tmp_path))
+        assert snapshot["counters"]["frames"] == 2
+
+    def test_legacy_int_snapshot_loads(self, tmp_path):
+        path = _snapshot_file(tmp_path, schema_version=1)
+        assert load_snapshot(path)["counters"]["frames"] == 2
+
+    def test_unknown_key_warns_and_loads(self, tmp_path):
+        path = _snapshot_file(tmp_path, future_section={"a": 1})
+        with pytest.warns(UserWarning, match="future_section"):
+            snapshot = load_snapshot(path)
+        assert "future_section" not in snapshot
+
+    def test_newer_minor_warns(self, tmp_path):
+        path = _snapshot_file(tmp_path, schema_version="1.99")
+        with pytest.warns(UserWarning, match="newer than this reader"):
+            load_snapshot(path)
+
+    def test_major_mismatch_raises_on_load_and_merge(self, tmp_path):
+        path = _snapshot_file(tmp_path, schema_version="9.0")
+        with pytest.raises(ValueError):
+            load_snapshot(path)
+        with pytest.raises(ValueError):
+            merge_snapshots([json.loads(path.read_text())])
+
+    def test_current_version_is_major_minor_string(self):
+        assert parse_version(TELEMETRY_SCHEMA_VERSION)[0] == 1
