@@ -1,0 +1,130 @@
+"""Static-analysis walkthrough: the ``repro lint`` invariant engine.
+
+``repro.analysis`` is a stdlib-only AST lint engine for the repo's own
+reproducibility invariants — the properties that keep every figure and
+manifest regenerable bit-for-bit.  This walkthrough:
+
+1. lints the real repository tree in-process (the same run the CI
+   ``lint-invariants`` job and ``python -m repro lint`` perform) and
+   asserts it is clean;
+2. builds a deliberately broken scratch package and shows every rule
+   REP001-REP006 firing with file:line diagnostics;
+3. suppresses one finding inline with ``# repro: noqa[RULE]`` and
+   grandfathers the rest into a baseline file, turning the run green;
+4. saves the machine-readable JSON report CI uploads as an artifact.
+
+Run with ``python examples/lint_report.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.analysis import LintEngine, run_lint, save_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: One violation per rule, in one scratch package.
+BROKEN_MODULE = '''\
+import random
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class Sample:
+    kept: int
+    dropped: int = 0
+
+    def to_dict(self):
+        return {"kept": self.kept}  # REP002: 'dropped' never serialized
+
+
+def jitter():
+    return random.random() + time.time()  # REP001: unseeded RNG + wall clock
+
+
+def fan_out(pool, items):
+    return [pool.submit(lambda item=i: item) for i in items]  # REP003: lambda
+
+
+def observe(registry):
+    registry.add("Hits", 1)  # REP004: not dotted subsystem.noun
+'''
+
+BROKEN_INIT = '''\
+from repro.scratch.mod import Sample, fan_out
+
+__all__ = ["Sample", "Ghost"]  # REP006: Ghost unbound, fan_out unlisted
+'''
+
+BROKEN_SCENARIO = '''\
+[[scenario]]
+name = "warp_drive"
+kind = "teleport"  # REP005: not a registered scenario kind
+description = "broken on purpose"
+'''
+
+
+def write(root: Path, rel: str, content: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+
+
+def main() -> None:
+    # -- 1. the real tree is clean ----------------------------------------
+    report = run_lint(root=REPO_ROOT, baseline_path=REPO_ROOT / "lint-baseline.json")
+    print("=== repro lint over the committed tree ===")
+    print(report.to_text())
+    assert report.exit_code == 0, "the committed tree must lint clean"
+
+    with tempfile.TemporaryDirectory() as scratch_dir:
+        scratch = Path(scratch_dir)
+        write(scratch, "src/repro/scratch/mod.py", BROKEN_MODULE)
+        write(scratch, "src/repro/scratch/__init__.py", BROKEN_INIT)
+        write(scratch, "src/repro/scratch/bad.toml", BROKEN_SCENARIO)
+
+        # -- 2. every rule fires on the scratch package --------------------
+        broken = run_lint(["src"], root=scratch)
+        print("\n=== deliberately broken scratch package ===")
+        for diagnostic in broken.diagnostics:
+            print(diagnostic.format())
+        fired = {diagnostic.rule for diagnostic in broken.diagnostics}
+        assert fired == {f"REP00{n}" for n in range(1, 7)}, fired
+
+        # -- 3. inline suppression + baseline turn the run green -----------
+        write(
+            scratch,
+            "src/repro/scratch/bad.toml",
+            BROKEN_SCENARIO.replace('kind = "teleport"', 'kind = "analyze"'),
+        )
+        suppressed = BROKEN_MODULE.replace(
+            "registry.add(\"Hits\", 1)  # REP004: not dotted subsystem.noun",
+            "registry.add(\"Hits\", 1)  # repro: noqa[REP004]",
+        )
+        write(scratch, "src/repro/scratch/mod.py", suppressed)
+        engine = LintEngine(root=scratch, baseline_path=scratch / "baseline.json")
+        engine.write_baseline(["src"])
+        green = engine.run(["src"])
+        print("\n=== after noqa + baseline ===")
+        print(green.to_text())
+        assert green.exit_code == 0
+        assert green.suppressed_count == 1
+
+        # -- 4. the JSON report CI uploads ---------------------------------
+        out = scratch / "lint-report.json"
+        save_report(green, out)
+        payload = json.loads(out.read_text())
+        print(
+            f"\nJSON report: passed={payload['passed']} "
+            f"files={payload['files_checked']} "
+            f"suppressed={payload['suppressed']} "
+            f"baselined={payload['baselined']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

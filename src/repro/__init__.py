@@ -47,7 +47,14 @@ Networks"* (Mallik, Xie, Han — ICDCS 2024).  The package provides:
   directory of manifests into per-metric time series, a registry of
   figure builders that re-render every committed ``results/`` artifact
   byte-identically (plus CSV and Vega-Lite sidecars), and structural
-  telemetry-snapshot diffing (:mod:`repro.figures`).
+  telemetry-snapshot diffing (:mod:`repro.figures`),
+* an invariant-checking lint engine behind ``repro lint``: stdlib-only
+  AST rules for determinism (REP001), ``to_dict``/``from_dict``
+  round-trip completeness (REP002), pickle-safe process-pool tasks
+  (REP003), dotted telemetry naming (REP004), scenario-spec validity
+  (REP005) and trustworthy ``__all__`` listings (REP006), with inline
+  ``# repro: noqa[RULE]`` suppressions and a committed findings baseline
+  (:mod:`repro.analysis`).
 
 Quickstart::
 
@@ -135,6 +142,12 @@ from repro.experiments import (
     compare_manifests,
     load_suite,
 )
+from repro.analysis import (
+    Diagnostic,
+    LintEngine,
+    LintReport,
+    run_lint,
+)
 from repro.figures import (
     FigureInputs,
     RunHistory,
@@ -167,6 +180,7 @@ __all__ = [
     "CooperationConfig",
     "CosimReport",
     "DeviceSpec",
+    "Diagnostic",
     "EdgePlan",
     "EdgeServer",
     "EdgeServerSpec",
@@ -181,6 +195,8 @@ __all__ = [
     "HandoffConfig",
     "InferenceConfig",
     "LatencyBreakdown",
+    "LintEngine",
+    "LintReport",
     "NetworkConfig",
     "OffloadingPlanner",
     "OperatingPoint",
@@ -224,6 +240,7 @@ __all__ = [
     "plan_capacity",
     "plan_edges",
     "run_cosim",
+    "run_lint",
     "telemetry",
     "__version__",
 ]

@@ -1,0 +1,48 @@
+"""repro.analysis — the invariant-checking lint engine behind ``repro lint``.
+
+A stdlib-only, AST-based static-analysis pass for the invariants no
+off-the-shelf linter knows about: bit-exact determinism (REP001), complete
+``to_dict``/``from_dict`` round-trips (REP002), pickle-safe process-pool
+tasks (REP003), dotted telemetry naming (REP004), scenario-spec validity
+(REP005), and trustworthy ``__all__`` listings (REP006).
+
+Findings can be silenced inline (``# repro: noqa[REP001]``) or
+grandfathered in a committed baseline file; everything else fails the run.
+
+Typical use::
+
+    from repro.analysis import run_lint
+
+    report = run_lint(["src", "tests"], root=".")
+    print(report.to_text())
+    raise SystemExit(report.exit_code)
+"""
+
+from repro.analysis.diagnostics import Baseline, Diagnostic, is_suppressed, suppressed_rules
+from repro.analysis.engine import (
+    DEFAULT_PATHS,
+    SYNTAX_RULE,
+    LintEngine,
+    LintReport,
+    run_lint,
+    save_report,
+)
+from repro.analysis.rules import RULE_REGISTRY, FileContext, LintRule, build_rules, register
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_PATHS",
+    "Diagnostic",
+    "FileContext",
+    "LintEngine",
+    "LintReport",
+    "LintRule",
+    "RULE_REGISTRY",
+    "SYNTAX_RULE",
+    "build_rules",
+    "is_suppressed",
+    "register",
+    "run_lint",
+    "save_report",
+    "suppressed_rules",
+]

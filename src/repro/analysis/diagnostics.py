@@ -1,0 +1,192 @@
+"""Diagnostics, suppressions, and the committed findings baseline.
+
+A :class:`Diagnostic` is one finding: a rule ID, a repo-relative path, a
+1-based line, and a message.  Two mechanisms silence a finding without
+fixing it:
+
+* an inline suppression comment on the offending line —
+  ``# repro: noqa[REP001]`` (several IDs comma-separated) or a bare
+  ``# repro: noqa`` that silences every rule on that line;
+* a committed :class:`Baseline` file of grandfathered findings.  Baseline
+  entries match on ``(rule, path, message)`` — deliberately *not* on line
+  numbers, so unrelated edits above a grandfathered finding do not
+  invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+#: Format of the suppression comment.  Matches ``# repro: noqa`` and
+#: ``# repro: noqa[REP001]`` / ``# repro: noqa[REP001,REP006]`` anywhere
+#: in the line (so it can trail code).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+#: Baseline file schema version; bump on layout changes.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes:
+        rule: rule identifier (``REP001`` ... ``REP006``).
+        path: repo-relative POSIX path of the offending file.
+        line: 1-based line number (0 for whole-file findings).
+        message: human-readable description of the violation.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """The line-insensitive identity used by baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-able form; ``from_dict`` restores an equal diagnostic."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Diagnostic":
+        """Rebuild a diagnostic serialised with :meth:`to_dict`."""
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload.get("line", 0)),
+            message=str(payload["message"]),
+        )
+
+    def format(self) -> str:
+        """The one-line ``path:line: RULE message`` rendering."""
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: {self.rule} {self.message}"
+
+
+def suppressed_rules(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Per-line suppressions parsed from ``# repro: noqa`` comments.
+
+    Returns a mapping of 1-based line number to either ``None`` (bare
+    ``noqa`` — every rule suppressed on that line) or the frozenset of
+    suppressed rule IDs.
+    """
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = frozenset(
+                rule.strip() for rule in rules.split(",") if rule.strip()
+            )
+    return suppressions
+
+
+def is_suppressed(
+    diagnostic: Diagnostic,
+    suppressions: Dict[int, Optional[FrozenSet[str]]],
+) -> bool:
+    """Whether an inline comment on the diagnostic's line silences it."""
+    if diagnostic.line not in suppressions:
+        return False
+    rules = suppressions[diagnostic.line]
+    return rules is None or diagnostic.rule in rules
+
+
+class Baseline:
+    """The committed set of grandfathered findings.
+
+    The file is JSON — ``{"version": 1, "entries": [{rule, path, message,
+    justification?}, ...]}`` — and each entry should carry a
+    ``justification`` explaining why the finding is tolerated rather than
+    fixed.  An empty baseline (no entries) is the healthy steady state.
+    """
+
+    def __init__(self, entries: Sequence[dict] = ()) -> None:
+        self.entries: List[dict] = [dict(entry) for entry in entries]
+        self._keys = {
+            (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            for entry in self.entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains(self, diagnostic: Diagnostic) -> bool:
+        """Whether the diagnostic is grandfathered."""
+        return diagnostic.key() in self._keys
+
+    def stale_entries(self, diagnostics: Sequence[Diagnostic]) -> List[dict]:
+        """Baseline entries no longer matched by any current finding."""
+        current = {diagnostic.key() for diagnostic in diagnostics}
+        return [
+            entry
+            for entry in self.entries
+            if (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            not in current
+        ]
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ConfigurationError(
+                f"baseline {str(path)!r} must be an object with an 'entries' list"
+            )
+        version = payload.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline {str(path)!r} has version {version!r}; "
+                f"this linter reads version {BASELINE_VERSION}"
+            )
+        entries = payload["entries"]
+        if not isinstance(entries, list):
+            raise ConfigurationError(f"baseline {str(path)!r} 'entries' must be a list")
+        for entry in entries:
+            if not isinstance(entry, dict) or not {"rule", "path", "message"} <= set(entry):
+                raise ConfigurationError(
+                    f"baseline {str(path)!r}: every entry needs rule/path/message, "
+                    f"got {entry!r}"
+                )
+        return cls(entries)
+
+    @staticmethod
+    def dump(diagnostics: Sequence[Diagnostic], path: Union[str, Path]) -> None:
+        """Write the current findings as a fresh baseline file."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": diagnostic.rule,
+                    "path": diagnostic.path,
+                    "message": diagnostic.message,
+                    "justification": "TODO: justify or fix",
+                }
+                for diagnostic in sorted(diagnostics, key=Diagnostic.key)
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")

@@ -1,0 +1,46 @@
+"""repro.analysis.rules — the invariant rules and their registry.
+
+Importing this package registers every bundled rule into
+:data:`~repro.analysis.rules.base.RULE_REGISTRY`:
+
+========  =============================================================
+REP001    determinism — no wall clocks / unseeded RNGs in ``src/repro``
+REP002    round-trips — dataclass ``to_dict``/``from_dict`` completeness
+REP003    pool safety — pool callables must be module-level
+REP004    telemetry naming — dotted names, one kind per name
+REP005    spec linting — scenario TOML validates against ScenarioSpec
+REP006    export consistency — ``__all__`` matches reality
+========  =============================================================
+
+To add a rule: subclass :class:`LintRule`, set ``id``/``description``,
+implement ``check`` (and ``finish`` for cross-file state), decorate with
+``@register``, and import the module here.
+"""
+
+from repro.analysis.rules.base import (
+    RULE_REGISTRY,
+    FileContext,
+    LintRule,
+    build_rules,
+    register,
+)
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.exports import ExportConsistencyRule
+from repro.analysis.rules.poolsafety import PoolSafetyRule
+from repro.analysis.rules.roundtrip import RoundTripRule
+from repro.analysis.rules.spec_lint import SpecLintRule
+from repro.analysis.rules.telemetry_names import TelemetryNamingRule
+
+__all__ = [
+    "RULE_REGISTRY",
+    "DeterminismRule",
+    "ExportConsistencyRule",
+    "FileContext",
+    "LintRule",
+    "PoolSafetyRule",
+    "RoundTripRule",
+    "SpecLintRule",
+    "TelemetryNamingRule",
+    "build_rules",
+    "register",
+]

@@ -1,0 +1,123 @@
+"""Rule protocol, per-file context, and the rule registry.
+
+A rule is a class with an ``id`` (``REPnnn``), a one-line ``description``,
+a per-file :meth:`LintRule.check` generator, and an optional
+:meth:`LintRule.finish` hook for cross-file findings (e.g. global name
+uniqueness).  The engine instantiates every registered rule fresh per run,
+feeds it each collected file, and drains ``finish()`` at the end — so rule
+instances may accumulate state without leaking it across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class FileContext:
+    """One collected file as the rules see it.
+
+    Attributes:
+        path: absolute filesystem path.
+        rel_path: root-relative POSIX path (the identity used in
+            diagnostics and baseline entries).
+        source: file text.
+        tree: parsed AST for ``.py`` files, ``None`` otherwise (rules that
+            lint non-Python files parse ``source`` themselves).
+    """
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: Optional[ast.AST] = None
+    _lines: Optional[List[str]] = field(default=None, repr=False)
+
+    @property
+    def is_python(self) -> bool:
+        return self.path.suffix == ".py"
+
+    @property
+    def parts(self) -> tuple:
+        return tuple(self.rel_path.split("/"))
+
+    @property
+    def in_repro_src(self) -> bool:
+        """Whether the file belongs to the ``repro`` package source tree.
+
+        Matches ``src/repro/...`` layouts (and a bare ``repro/...`` prefix,
+        so fixture trees in tests do not need the ``src/`` shim).  Test,
+        benchmark, and example trees are deliberately excluded: they may
+        use wall clocks, closures, and ad-hoc telemetry names freely.
+        """
+        parts = self.parts
+        for index, part in enumerate(parts[:-1]):
+            if part == "src" and parts[index + 1] == "repro":
+                return True
+        return parts[0] == "repro" if len(parts) > 1 else False
+
+    @property
+    def repro_subpackage(self) -> Optional[str]:
+        """First package component under ``repro`` (e.g. ``telemetry``)."""
+        parts = self.parts
+        for index, part in enumerate(parts[:-1]):
+            if part == "repro":
+                nxt = parts[index + 1]
+                return nxt[: -len(".py")] if nxt.endswith(".py") else nxt
+        return None
+
+    def lines(self) -> List[str]:
+        if self._lines is None:
+            self._lines = self.source.splitlines()
+        return self._lines
+
+
+class LintRule:
+    """Base class for invariant rules; subclasses set ``id``/``description``."""
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield per-file findings (default: none)."""
+        return iter(())
+
+    def finish(self) -> Iterator[Diagnostic]:
+        """Yield cross-file findings after every file was checked."""
+        return iter(())
+
+    def diagnostic(self, ctx: FileContext, line: int, message: str) -> Diagnostic:
+        """A finding bound to this rule and the given file/line."""
+        return Diagnostic(rule=self.id, path=ctx.rel_path, line=line, message=message)
+
+
+#: Registered rule classes keyed by rule ID, in registration order.
+RULE_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register(rule_cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not rule_cls.id:
+        raise ConfigurationError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in RULE_REGISTRY:
+        raise ConfigurationError(f"duplicate rule id {rule_cls.id!r}")
+    RULE_REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def build_rules(only: Optional[Iterable[str]] = None) -> List[LintRule]:
+    """Fresh instances of the selected (default: all) registered rules."""
+    if only is None:
+        return [RULE_REGISTRY[rule_id]() for rule_id in sorted(RULE_REGISTRY)]
+    wanted = list(only)
+    unknown = [rule_id for rule_id in wanted if rule_id not in RULE_REGISTRY]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown rule(s) {unknown}; registered: {sorted(RULE_REGISTRY)}"
+        )
+    return [RULE_REGISTRY[rule_id]() for rule_id in wanted]

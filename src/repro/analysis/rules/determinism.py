@@ -1,0 +1,160 @@
+"""REP001 — no nondeterminism sources in the model packages.
+
+The whole repository contract is bit-exact replay: two runs of the same
+workload must produce identical payloads.  Wall-clock reads
+(``time.time()``, ``datetime.now()``) and unseeded randomness (the
+``random`` module's global functions, ``random.Random()`` without a seed,
+NumPy's legacy ``np.random.*`` global RNG, ``np.random.default_rng()``
+without a seed) silently break that contract, so inside ``src/repro`` they
+are flagged at lint time.
+
+Exemptions:
+
+* the ``telemetry`` subpackage — measuring wall time is its entire job
+  (and snapshots already quarantine timing fields behind ``strip_timing``);
+* duration clocks (``time.perf_counter``, ``time.monotonic``) — measuring
+  *elapsed* time for timeouts or profiling does not leak into payloads;
+* seeded constructors — ``np.random.default_rng(seed)`` and
+  ``random.Random(seed)`` are the blessed idioms.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import FileContext, LintRule, register
+
+#: Subpackages of ``repro`` exempt from this rule.
+ALLOWLISTED_SUBPACKAGES = frozenset({"telemetry"})
+
+#: ``datetime`` class methods that read the wall clock.
+_DATETIME_WALL = frozenset({"now", "utcnow", "today"})
+
+#: Attributes of the ``numpy.random`` module that do NOT touch the legacy
+#: global RNG (constructors of explicitly-seeded generators).
+_NUMPY_RANDOM_OK = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox", "MT19937"}
+)
+
+
+def _collect_aliases(tree: ast.AST) -> Tuple[Dict[str, str], Dict[str, Tuple[str, str]]]:
+    """(local module aliases, local member aliases) from the file's imports."""
+    modules: Dict[str, str] = {}
+    members: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname is None and "." in alias.name:
+                    # ``import numpy.random`` binds ``numpy``.
+                    modules[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                # ``from numpy import random`` binds a module; everything
+                # else binds a member.  Both resolve through dotted paths.
+                members[alias.asname or alias.name] = (node.module, alias.name)
+    return modules, members
+
+
+def _dotted(
+    func: ast.expr,
+    modules: Dict[str, str],
+    members: Dict[str, Tuple[str, str]],
+) -> Optional[Tuple[str, ...]]:
+    """Resolve a call target to a dotted module path, or None."""
+    chain = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    chain.reverse()
+    root = node.id
+    if root in modules:
+        return tuple(modules[root].split(".")) + tuple(chain)
+    if root in members:
+        module, member = members[root]
+        return tuple(module.split(".")) + (member,) + tuple(chain)
+    return None
+
+
+def _has_arguments(call: ast.Call) -> bool:
+    return bool(call.args) or bool(call.keywords)
+
+
+@register
+class DeterminismRule(LintRule):
+    """Flag wall-clock reads and unseeded RNGs inside ``src/repro``."""
+
+    id = "REP001"
+    description = (
+        "no time.time()/datetime.now()/unseeded random in src/repro "
+        "(telemetry subpackage exempt)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.is_python or ctx.tree is None or not ctx.in_repro_src:
+            return
+        if ctx.repro_subpackage in ALLOWLISTED_SUBPACKAGES:
+            return
+        modules, members = _collect_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = _dotted(node.func, modules, members)
+            if path is None:
+                continue
+            finding = self._classify(path, node)
+            if finding is not None:
+                yield self.diagnostic(ctx, node.lineno, finding)
+
+    @staticmethod
+    def _classify(path: Tuple[str, ...], call: ast.Call) -> Optional[str]:
+        if path == ("time", "time"):
+            return (
+                "wall-clock read time.time(); time durations with a "
+                "telemetry span (telemetry.get().span(...)) instead"
+            )
+        if (
+            len(path) >= 2
+            and path[0] == "datetime"
+            and path[-1] in _DATETIME_WALL
+        ):
+            return (
+                f"wall-clock read {'.'.join(path)}(); timestamps belong in "
+                "telemetry or must be passed in explicitly"
+            )
+        if path[0] == "random" and len(path) == 2:
+            if path[1] == "Random":
+                if _has_arguments(call):
+                    return None
+                return (
+                    "unseeded random.Random(); pass an explicit seed "
+                    "(random.Random(seed)) so replays are bit-exact"
+                )
+            return (
+                f"global-RNG call random.{path[1]}(); use a seeded "
+                "random.Random(seed) instance instead"
+            )
+        if len(path) >= 3 and path[0] == "numpy" and path[1] == "random":
+            attr = path[2]
+            if attr == "default_rng":
+                if _has_arguments(call):
+                    return None
+                return (
+                    "unseeded np.random.default_rng(); pass an explicit "
+                    "seed so replays are bit-exact"
+                )
+            if attr not in _NUMPY_RANDOM_OK:
+                return (
+                    f"legacy global-RNG call np.random.{attr}(); use a "
+                    "seeded np.random.default_rng(seed) generator instead"
+                )
+        return None

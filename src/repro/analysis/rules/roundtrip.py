@@ -1,0 +1,155 @@
+"""REP002 — dataclass ``to_dict``/``from_dict`` round-trips serialize every field.
+
+Replay files, manifests, and baselines all rest on ``to_dict`` producing a
+*complete* payload: a field silently dropped from ``to_dict`` deserializes
+to its default and the round-trip "succeeds" with corrupted state.  This
+rule statically matches each dataclass's declared fields against the
+attributes its own ``to_dict`` reads (and, when ``from_dict`` names fields
+explicitly, against the keys it restores).
+
+A field counts as serialized when ``to_dict`` reads ``self.<field>``
+anywhere in its body, or when the body defers to a total serializer
+(``dataclasses.asdict(self)``, ``vars(self)``, ``self.__dict__``).
+``from_dict`` counts a field as restored when its name appears as a string
+literal or as a keyword argument of any call; bodies that forward
+``**payload`` wholesale are treated as total.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import FileContext, LintRule, register
+
+#: Class-body annotations that do not declare an instance field.
+_NON_FIELD_MARKERS = ("ClassVar", "InitVar")
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _field_names(node: ast.ClassDef) -> List[str]:
+    names: List[str] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.dump(statement.annotation)
+        if any(marker in annotation for marker in _NON_FIELD_MARKERS):
+            continue
+        name = statement.target.id
+        if not name.startswith("_"):
+            names.append(name)
+    return names
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _self_attributes(func: ast.FunctionDef) -> Set[str]:
+    attrs: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            attrs.add(node.attr)
+    return attrs
+
+
+def _uses_total_serializer(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            target = node.func
+            name = target.attr if isinstance(target, ast.Attribute) else (
+                target.id if isinstance(target, ast.Name) else None
+            )
+            if name in ("asdict", "vars") and any(
+                isinstance(arg, ast.Name) and arg.id == "self" for arg in node.args
+            ):
+                return True
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "__dict__"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _restored_names(func: ast.FunctionDef) -> Optional[Set[str]]:
+    """Field names ``from_dict`` restores, or None when it forwards ``**``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is None:  # **payload — treated as total
+                    return None
+                names.add(keyword.arg)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+@register
+class RoundTripRule(LintRule):
+    """Flag dataclasses whose ``to_dict``/``from_dict`` drop declared fields."""
+
+    id = "REP002"
+    description = (
+        "dataclass to_dict/from_dict must serialize and restore every "
+        "declared field"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.is_python or ctx.tree is None or not ctx.in_repro_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass_decorated(node):
+                continue
+            to_dict = _method(node, "to_dict")
+            if to_dict is None:
+                continue
+            fields = _field_names(node)
+            if not fields:
+                continue
+            if not _uses_total_serializer(to_dict):
+                read = _self_attributes(to_dict)
+                missing = [field for field in fields if field not in read]
+                if missing:
+                    yield self.diagnostic(
+                        ctx,
+                        to_dict.lineno,
+                        f"{node.name}.to_dict() never reads field(s) "
+                        f"{', '.join(missing)}; the round-trip payload is "
+                        f"incomplete",
+                    )
+            from_dict = _method(node, "from_dict")
+            if from_dict is not None:
+                restored = _restored_names(from_dict)
+                if restored is not None:
+                    missing = [field for field in fields if field not in restored]
+                    if missing:
+                        yield self.diagnostic(
+                            ctx,
+                            from_dict.lineno,
+                            f"{node.name}.from_dict() never restores field(s) "
+                            f"{', '.join(missing)}; deserialized instances "
+                            f"fall back to defaults",
+                        )

@@ -1,0 +1,95 @@
+"""REP005 — scenario TOML files must validate against :class:`ScenarioSpec`.
+
+A malformed scenario file otherwise fails only when the experiment suite
+actually *runs* — in CI that is minutes into the job, locally it is often
+never.  This rule lints every ``*.toml`` file that carries ``[[scenario]]``
+tables (other TOML files — ``pyproject.toml`` — are skipped) through the
+real validation surface: :meth:`ScenarioSpec.from_dict`, which checks spec
+keys, kind/parameter allowlists, device/edge catalog membership, and the
+``app``/``network`` overrides against the config dataclass fields.  No
+scenario is executed; only construction-time validation runs.
+
+Suite-level invariants are checked too: duplicate scenario names within
+one file are flagged (the loader would refuse the whole directory).
+
+On interpreters without a TOML parser (Python <= 3.10 without ``tomli``)
+the rule skips silently rather than failing the lint run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import FileContext, LintRule, register
+from repro.exceptions import ConfigurationError
+
+
+def _scenario_line(ctx: FileContext, name: Optional[str], ordinal: int) -> int:
+    """Best-effort line anchor: the scenario's ``name = ...`` assignment,
+    else its ``[[scenario]]`` header, else line 1."""
+    lines = ctx.lines()
+    if name is not None:
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip().replace(" ", "")
+            if stripped.startswith(f'name="{name}"') or stripped.startswith(
+                f"name='{name}'"
+            ):
+                return lineno
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        if line.strip().startswith("[[scenario]]"):
+            count += 1
+            if count == ordinal + 1:
+                return lineno
+    return 1
+
+
+@register
+class SpecLintRule(LintRule):
+    """Validate ``[[scenario]]`` TOML tables without executing anything."""
+
+    id = "REP005"
+    description = (
+        "scenario *.toml files must validate against ScenarioSpec and the "
+        "config dataclasses (keys, kinds, params, catalog names)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.path.suffix != ".toml":
+            return
+        from repro.experiments.spec import ScenarioSpec, _toml
+
+        if _toml is None:  # pragma: no cover - Python <= 3.10 without tomli
+            return
+        try:
+            payload = _toml.loads(ctx.source)
+        except _toml.TOMLDecodeError as error:
+            yield self.diagnostic(ctx, 1, f"TOML parse error: {error}")
+            return
+        tables = payload.get("scenario", payload.get("scenarios"))
+        if tables is None:
+            return  # not a scenario file (pyproject.toml etc.)
+        if not isinstance(tables, list):
+            yield self.diagnostic(
+                ctx, 1, "'scenario' must be an array of tables ([[scenario]])"
+            )
+            return
+        seen = {}
+        for ordinal, table in enumerate(tables):
+            name = table.get("name") if isinstance(table, dict) else None
+            line = _scenario_line(ctx, name if isinstance(name, str) else None, ordinal)
+            try:
+                ScenarioSpec.from_dict(table)
+            except ConfigurationError as error:
+                yield self.diagnostic(ctx, line, f"invalid scenario: {error}")
+                continue
+            if name in seen:
+                yield self.diagnostic(
+                    ctx,
+                    line,
+                    f"duplicate scenario name {name!r} (first defined at "
+                    f"line {seen[name]}); suite loading would refuse it",
+                )
+            else:
+                seen[name] = line

@@ -1,0 +1,141 @@
+"""REP004 — telemetry instrument names follow the dotted convention.
+
+Every counter (``registry.add``), gauge (``registry.gauge``), histogram
+(``registry.record``) and span (``telemetry.get().span``) name must follow
+the repo-wide ``subsystem.noun[.verb]`` convention: two to four lowercase
+dotted segments, ``[a-z][a-z0-9_]*`` each.  The rule also enforces that a
+name is bound to exactly **one** instrument kind across the whole tree —
+``"fleet.analyze"`` cannot be a counter in one module and a span in
+another, because merged snapshots would silently fold unrelated streams.
+(The same name used for the same kind in several modules is a shared
+instrument and is allowed — e.g. ``faults.epochs_faulted`` is incremented
+by both the adaptive runtime and the cosim engine.)
+
+f-strings are validated on their literal head: every *complete* dotted
+segment before the first placeholder must conform.  Names built entirely
+at runtime are skipped — the rule never guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import FileContext, LintRule, register
+
+#: Recording method -> instrument kind.
+_INSTRUMENT_METHODS = {
+    "add": "counter",
+    "gauge": "gauge",
+    "record": "histogram",
+    "span": "span",
+}
+
+#: Receiver variable names treated as telemetry registries.
+_REGISTRY_NAMES = frozenset({"registry", "telemetry"})
+
+_SEGMENT_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Segment count bounds for a complete literal name.
+MIN_SEGMENTS = 2
+MAX_SEGMENTS = 4
+
+
+def _receiver_is_registry(func: ast.Attribute) -> bool:
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id in _REGISTRY_NAMES
+    if isinstance(value, ast.Call):
+        # ``telemetry.get().span(...)`` / ``get().add(...)``
+        target = value.func
+        if isinstance(target, ast.Attribute):
+            return target.attr == "get"
+        if isinstance(target, ast.Name):
+            return target.id == "get"
+    return False
+
+
+def _literal_head(arg: ast.expr) -> Optional[Tuple[str, bool]]:
+    """(literal text, is_complete) of the instrument-name argument."""
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, True
+    if isinstance(arg, ast.JoinedStr) and arg.values:
+        first = arg.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value, False
+        return None  # starts with a placeholder — nothing to validate
+    return None
+
+
+def _bad_segments(text: str, complete: bool) -> Optional[str]:
+    """An error description when the name violates the convention."""
+    segments = text.split(".")
+    if not complete:
+        # Drop the trailing partial segment an f-string placeholder continues.
+        segments = segments[:-1]
+        if not segments:
+            return None
+        if not all(_SEGMENT_RE.match(segment) for segment in segments):
+            return f"literal head {text!r} has a malformed dotted segment"
+        return None
+    if not (MIN_SEGMENTS <= len(segments) <= MAX_SEGMENTS):
+        return (
+            f"{text!r} has {len(segments)} dotted segment(s); the "
+            f"convention is subsystem.noun[.verb] "
+            f"({MIN_SEGMENTS}-{MAX_SEGMENTS} segments)"
+        )
+    if not all(_SEGMENT_RE.match(segment) for segment in segments):
+        return (
+            f"{text!r} violates the naming convention: every segment must "
+            f"match [a-z][a-z0-9_]*"
+        )
+    return None
+
+
+@register
+class TelemetryNamingRule(LintRule):
+    """Flag malformed or kind-colliding telemetry instrument names."""
+
+    id = "REP004"
+    description = (
+        "telemetry counter/gauge/histogram/span names must be dotted "
+        "subsystem.noun[.verb] and bound to a single instrument kind"
+    )
+
+    def __init__(self) -> None:
+        #: name -> (kind, rel_path, line) of the first sighting.
+        self._seen: Dict[str, Tuple[str, str, int]] = {}
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.is_python or ctx.tree is None or not ctx.in_repro_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            kind = _INSTRUMENT_METHODS.get(node.func.attr)
+            if kind is None or not _receiver_is_registry(node.func):
+                continue
+            if not node.args:
+                continue
+            head = _literal_head(node.args[0])
+            if head is None:
+                continue
+            text, complete = head
+            problem = _bad_segments(text, complete)
+            if problem is not None:
+                yield self.diagnostic(ctx, node.lineno, problem)
+                continue
+            if complete:
+                previous = self._seen.get(text)
+                if previous is None:
+                    self._seen[text] = (kind, ctx.rel_path, node.lineno)
+                elif previous[0] != kind:
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        f"{text!r} used as a {kind} here but as a "
+                        f"{previous[0]} at {previous[1]}:{previous[2]}; an "
+                        f"instrument name must map to one kind",
+                    )

@@ -25,6 +25,11 @@ Installed as ``python -m repro``.  Subcommands:
   text/CSV/Vega-Lite artifact triples under ``results/figures/``, and
   ``check`` that every committed ``results/*.txt`` artifact re-renders
   byte-identically (the CI drift gate),
+* ``lint``     — the invariant lint engine (:mod:`repro.analysis`): REP001
+  determinism, REP002 round-trip completeness, REP003 pool safety, REP004
+  telemetry naming, REP005 scenario-spec validity, REP006 export
+  consistency; supports ``--json`` reports, per-rule selection, inline
+  ``# repro: noqa[RULE]`` suppressions and a committed findings baseline,
 * ``tables``   — print the Table I / Table II reproductions,
 * ``validate`` — quick model-vs-simulated-testbed validation (Fig. 4 style).
 
@@ -1044,6 +1049,34 @@ def _cmd_figures_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import RULE_REGISTRY, LintEngine, save_report
+
+    if args.list:
+        rows = [
+            (rule_id, RULE_REGISTRY[rule_id].description)
+            for rule_id in sorted(RULE_REGISTRY)
+        ]
+        print(f"Registered lint rules — {len(rows)}")
+        print(format_table(rows, headers=("rule", "checks")))
+        return 0
+    engine = LintEngine(rules=args.rule, baseline_path=args.baseline)
+    if args.write_baseline:
+        report = engine.write_baseline(args.paths)
+        print(
+            f"wrote {args.baseline} grandfathering {len(report.diagnostics)} "
+            f"finding(s); justify each entry or fix it"
+        )
+        return 0
+    report = engine.run(args.paths)
+    if args.json:
+        save_report(report, args.json)
+    print(report.to_text())
+    if args.json:
+        print(f"wrote {args.json}")
+    return report.exit_code
+
+
 def _adapt_controller_instance(name: str):
     from repro.adaptive import EwmaPredictive, GreedyBatchSweep, HysteresisThreshold
 
@@ -1606,6 +1639,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_figure_input_arguments(fig_check)
     fig_check.set_defaults(handler=_cmd_figures_check)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="invariant lint: determinism, round-trips, pool safety, "
+        "telemetry naming, spec validity, export consistency",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests benchmarks "
+        "examples scenarios, whichever exist)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="REPNNN",
+        help="run only this rule (repeatable; default: all registered rules)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        metavar="PATH",
+        help="committed baseline of grandfathered findings "
+        "(default: lint-baseline.json; a missing file is an empty baseline)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current finding into --baseline and exit 0",
+    )
+    lint.add_argument(
+        "--json", metavar="PATH", help="also write the findings as a JSON report"
+    )
+    lint.add_argument(
+        "--list", action="store_true", help="print the registered rules and exit"
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     tables = subparsers.add_parser("tables", help="print the Table I / II reproductions")
     tables.set_defaults(handler=_cmd_tables)

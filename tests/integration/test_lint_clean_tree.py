@@ -1,0 +1,40 @@
+"""Integration test: the committed tree passes its own lint gate.
+
+This is the acceptance criterion of the analysis subsystem — ``repro lint``
+over the real ``src``/``tests``/``benchmarks``/``examples`` trees (and the
+bundled scenario TOMLs) must exit 0 with the committed, empty baseline.
+If this test fails, either fix the violation or suppress it with an inline
+``# repro: noqa[RULE]`` carrying a reason; growing ``lint-baseline.json``
+is the last resort.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCleanTree:
+    def test_repo_lints_clean_with_every_rule(self):
+        report = run_lint(
+            root=REPO_ROOT, baseline_path=REPO_ROOT / "lint-baseline.json"
+        )
+        formatted = "\n".join(d.format() for d in report.diagnostics)
+        assert report.exit_code == 0, f"repro lint found violations:\n{formatted}"
+        assert report.files_checked > 200
+        assert report.rules_run == [
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+        ]
+
+    def test_committed_baseline_is_empty_and_not_stale(self):
+        path = REPO_ROOT / "lint-baseline.json"
+        payload = json.loads(path.read_text())
+        assert payload == {"version": 1, "entries": []}
+        assert len(Baseline.load(path)) == 0

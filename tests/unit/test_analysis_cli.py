@@ -1,0 +1,73 @@
+"""CLI tests for ``repro lint``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+VIOLATING = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+
+def write(root, rel, content):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path
+
+
+class TestLintCommand:
+    def test_list_prints_every_rule(self, capsys):
+        assert main(["lint", "--list"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert rule_id in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "src/repro/mod.py", "x = 1\n")
+        assert main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violations_exit_one_and_print_location(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "src/repro/mod.py", VIOLATING)
+        assert main(["lint"]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/mod.py:5: REP001" in out
+
+    def test_rule_filter_restricts_the_run(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "src/repro/mod.py", VIOLATING)
+        assert main(["lint", "--rule", "REP006"]) == 0
+        assert "[REP006]" in capsys.readouterr().out
+
+    def test_json_report_is_written(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "src/repro/mod.py", VIOLATING)
+        assert main(["lint", "--json", "report.json"]) == 1
+        payload = json.loads((tmp_path / "report.json").read_text())
+        assert payload["passed"] is False
+        assert payload["diagnostics"][0]["rule"] == "REP001"
+        assert "wrote report.json" in capsys.readouterr().out
+
+    def test_write_baseline_then_pass(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "src/repro/mod.py", VIOLATING)
+        assert main(["lint", "--write-baseline"]) == 0
+        assert "grandfathering 1 finding(s)" in capsys.readouterr().out
+        assert main(["lint"]) == 0
+        assert "1 grandfathered by baseline" in capsys.readouterr().out
+
+    def test_explicit_paths_are_respected(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "src/repro/bad.py", VIOLATING)
+        write(tmp_path, "src/repro/good.py", "x = 1\n")
+        assert main(["lint", "src/repro/good.py"]) == 0
+        assert "1 file(s)" in capsys.readouterr().out
