@@ -8,7 +8,7 @@ manifest regenerable bit-for-bit.  This walkthrough:
    ``lint-invariants`` job and ``python -m repro lint`` perform) and
    asserts it is clean;
 2. builds a deliberately broken scratch package and shows every rule
-   REP001-REP006 firing with file:line diagnostics;
+   REP001-REP007 firing with file:line diagnostics;
 3. suppresses one finding inline with ``# repro: noqa[RULE]`` and
    grandfathers the rest into a baseline file, turning the run green;
 4. saves the machine-readable JSON report CI uploads as an artifact.
@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 
 @dataclass
-class Sample:
+class Sample:  # REP007 via __init__'s __all__: exported without a docstring
     kept: int
     dropped: int = 0
 
@@ -93,7 +93,7 @@ def main() -> None:
         for diagnostic in broken.diagnostics:
             print(diagnostic.format())
         fired = {diagnostic.rule for diagnostic in broken.diagnostics}
-        assert fired == {f"REP00{n}" for n in range(1, 7)}, fired
+        assert fired == {f"REP00{n}" for n in range(1, 8)}, fired
 
         # -- 3. inline suppression + baseline turn the run green -----------
         write(

@@ -158,6 +158,14 @@ from repro.figures import (
     check_figures,
     diff_snapshots,
 )
+from repro.exec import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RetryPolicy,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
 from repro import figures, telemetry
 
 __all__ = [
@@ -186,6 +194,7 @@ __all__ = [
     "EdgeServerSpec",
     "EncoderConfig",
     "EnergyBreakdown",
+    "ExecutionBackend",
     "ExecutionMode",
     "ExperimentRunner",
     "FigureInputs",
@@ -202,19 +211,23 @@ __all__ = [
     "OperatingPoint",
     "ParameterGrid",
     "PerformanceReport",
+    "ProcessPoolBackend",
     "RegressionReport",
+    "RetryPolicy",
     "RunHistory",
     "RunManifest",
     "ScenarioSpec",
     "ScenarioSuite",
     "Segment",
     "SensorConfig",
+    "SerialBackend",
     "SessionAnalyzer",
     "SessionReport",
     "ShardedCosimReport",
     "SnapshotDiff",
     "SweepConfig",
     "Table",
+    "ThreadPoolBackend",
     "UserProfile",
     "WorkloadConfig",
     "XRDevice",
@@ -239,6 +252,7 @@ __all__ = [
     "make_trace",
     "plan_capacity",
     "plan_edges",
+    "resolve_backend",
     "run_cosim",
     "run_lint",
     "telemetry",

@@ -10,6 +10,7 @@ REP003    pool safety — pool callables must be module-level
 REP004    telemetry naming — dotted names, one kind per name
 REP005    spec linting — scenario TOML validates against ScenarioSpec
 REP006    export consistency — ``__all__`` matches reality
+REP007    docstring coverage — every ``__all__`` export is documented
 ========  =============================================================
 
 To add a rule: subclass :class:`LintRule`, set ``id``/``description``,
@@ -25,6 +26,7 @@ from repro.analysis.rules.base import (
     register,
 )
 from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.docstrings import DocstringCoverageRule
 from repro.analysis.rules.exports import ExportConsistencyRule
 from repro.analysis.rules.poolsafety import PoolSafetyRule
 from repro.analysis.rules.roundtrip import RoundTripRule
@@ -34,6 +36,7 @@ from repro.analysis.rules.telemetry_names import TelemetryNamingRule
 __all__ = [
     "RULE_REGISTRY",
     "DeterminismRule",
+    "DocstringCoverageRule",
     "ExportConsistencyRule",
     "FileContext",
     "LintRule",

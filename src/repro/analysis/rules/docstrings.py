@@ -1,0 +1,131 @@
+"""REP007 — every publicly exported class/function carries a docstring.
+
+``__all__`` is the repository's API promise (REP006 keeps it honest);
+this rule keeps it *readable*: a class or function whose name appears in
+any ``__all__`` inside ``src/repro`` must have a docstring at its
+definition site.  Registry-published callables — functions decorated
+with ``@register(...)`` (the figure-builder and lint-rule idiom) — are
+public API through the registry rather than ``__all__`` and are held to
+the same bar.  The docs tree links into the API by name, so an
+undocumented export is a dead end for exactly the symbols readers are
+steered toward.
+
+Scope and mechanics:
+
+* only classes and functions are checked — exported constants
+  (``FAULT_KINDS``, ``NULL_TELEMETRY``, …) have no docstring slot;
+* ``__all__`` exports are resolved cross-file in :meth:`finish`: a name
+  listed in a package ``__init__.py``'s ``__all__`` is matched against
+  top-level definitions in modules *under that package*, so the
+  diagnostic lands on the definition line, not the re-export line;
+* a definition exported by several ``__init__`` files (subsystem and
+  root) is reported once;
+* existing gaps are grandfathered in ``lint-baseline.json`` with a
+  justification each — the gate is green but ratcheting: new
+  undocumented exports fail CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import FileContext, LintRule, register
+from repro.analysis.rules.exports import _parse_all
+
+#: Decorator call names that publish the decorated definition through a
+#: registry (``@register(...)`` — figure builders, lint rules).
+_REGISTRY_DECORATORS = frozenset({"register"})
+
+
+def _module_dir(rel_path: str) -> str:
+    """Directory prefix of a root-relative POSIX path (``""`` at root)."""
+    head, _, _ = rel_path.rpartition("/")
+    return head
+
+
+def _is_registry_decorated(node: ast.AST) -> bool:
+    for decorator in getattr(node, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.id if isinstance(target, ast.Name) else getattr(target, "attr", "")
+        if name in _REGISTRY_DECORATORS:
+            return True
+    return False
+
+
+@register
+class DocstringCoverageRule(LintRule):
+    """Flag publicly exported classes/functions without docstrings."""
+
+    id = "REP007"
+    description = (
+        "every public class/function exported via __all__ (or published "
+        "through a @register registry) in src/repro must carry a docstring"
+    )
+
+    def __init__(self) -> None:
+        # (exporter rel_path, exported names, how they are published).
+        self._exports: List[Tuple[str, Set[str], str]] = []
+        # definition name -> [(rel_path, line, has_docstring)].
+        self._defs: Dict[str, List[Tuple[str, int, bool]]] = {}
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        # Collection pass only; all findings are resolved cross-file in
+        # :meth:`finish` once every export list has been seen.
+        if ctx.is_python and ctx.tree is not None and ctx.in_repro_src:
+            assert isinstance(ctx.tree, ast.Module)
+            exported = _parse_all(ctx.tree)
+            if exported:
+                self._exports.append(
+                    (ctx.rel_path, {name for name, _ in exported}, "via __all__")
+                )
+            registered: Set[str] = set()
+            for node in ctx.tree.body:
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ) and not node.name.startswith("_"):
+                    self._defs.setdefault(node.name, []).append(
+                        (
+                            ctx.rel_path,
+                            node.lineno,
+                            ast.get_docstring(node) is not None,
+                        )
+                    )
+                    if _is_registry_decorated(node):
+                        registered.add(node.name)
+            if registered:
+                self._exports.append(
+                    (ctx.rel_path, registered, "through a @register registry")
+                )
+        return iter(())
+
+    def finish(self) -> Iterator[Diagnostic]:
+        seen: Set[Tuple[str, str]] = set()
+        findings: List[Tuple[str, int, str]] = []
+        for exporter_path, names, via in self._exports:
+            # ``__all__`` in pkg/__init__.py covers definitions anywhere
+            # under pkg/; ``__all__`` (or a registry decorator) in a plain
+            # module covers the module's own directory.
+            prefix = _module_dir(exporter_path)
+            for name in sorted(names):
+                for def_path, line, has_doc in self._defs.get(name, ()):
+                    if prefix and not (
+                        def_path.startswith(prefix + "/") or def_path == exporter_path
+                    ):
+                        continue
+                    if has_doc or (def_path, name) in seen:
+                        continue
+                    seen.add((def_path, name))
+                    findings.append(
+                        (
+                            def_path,
+                            line,
+                            f"public name {name!r} is exported {via} "
+                            f"but has no docstring",
+                        )
+                    )
+        for def_path, line, message in sorted(findings):
+            yield Diagnostic(
+                rule=self.id, path=def_path, line=line, message=message
+            )

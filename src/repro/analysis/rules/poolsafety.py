@@ -1,7 +1,7 @@
 """REP003 — callables handed to process pools must be module-level.
 
-``run_hardened`` and raw executor ``submit`` ship their callable to worker
-processes by pickling.  Lambdas, closures (functions defined inside other
+``run_hardened``, backend ``map_tasks``/``submit``, and raw executor
+``submit`` ship their callable to worker processes by pickling.  Lambdas, closures (functions defined inside other
 functions), and bound methods (``self.method``) either fail to pickle — at
 best triggering the slow unpicklable serial fallback — or drag an entire
 instance graph across the process boundary.  Both are invisible at the
@@ -26,7 +26,7 @@ from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.rules.base import FileContext, LintRule, register
 
 #: Call names whose first positional argument is a pool-bound callable.
-_POOL_ENTRYPOINTS = frozenset({"run_hardened", "submit"})
+_POOL_ENTRYPOINTS = frozenset({"run_hardened", "map_tasks", "submit"})
 
 
 def _nested_function_names(tree: ast.AST) -> Set[str]:
@@ -62,8 +62,8 @@ class PoolSafetyRule(LintRule):
 
     id = "REP003"
     description = (
-        "callables passed to run_hardened/executor submit must be "
-        "module-level (no lambdas, closures, or bound methods)"
+        "callables passed to run_hardened/map_tasks/executor submit must "
+        "be module-level (no lambdas, closures, or bound methods)"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:

@@ -25,11 +25,15 @@ Installed as ``python -m repro``.  Subcommands:
   text/CSV/Vega-Lite artifact triples under ``results/figures/``, and
   ``check`` that every committed ``results/*.txt`` artifact re-renders
   byte-identically (the CI drift gate),
+* ``docs``     — generated documentation: ``build`` renders ``docs/CLI.md``
+  from the live argparse tree (plus the ``REPRO_*`` env-var registry), and
+  ``check`` fails on any byte drift (the CI ``docs-drift`` gate),
 * ``lint``     — the invariant lint engine (:mod:`repro.analysis`): REP001
   determinism, REP002 round-trip completeness, REP003 pool safety, REP004
   telemetry naming, REP005 scenario-spec validity, REP006 export
-  consistency; supports ``--json`` reports, per-rule selection, inline
-  ``# repro: noqa[RULE]`` suppressions and a committed findings baseline,
+  consistency, REP007 docstring coverage; supports ``--json`` reports,
+  per-rule selection, inline ``# repro: noqa[RULE]`` suppressions and a
+  committed findings baseline,
 * ``tables``   — print the Table I / Table II reproductions,
 * ``validate`` — quick model-vs-simulated-testbed validation (Fig. 4 style).
 
@@ -75,6 +79,18 @@ def _env_float(name: str, default: float) -> float:
             file=sys.stderr,
         )
         return default
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser, noun: str) -> None:
+    from repro.exec import backend_names
+
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help=f"execution backend for {noun} "
+        "(default: REPRO_EXEC_BACKEND, then 'process')",
+    )
 
 
 def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
@@ -363,6 +379,7 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
         controller,
         trace,
         n_shards=args.shards,
+        backend=args.backend,
         edge=args.edge,
         n_edges=args.edge_servers,
         deadline_ms=args.deadline_ms,
@@ -508,6 +525,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 GreedyBatchSweep(),
                 trace,
                 n_shards=args.cosim_shards,
+                backend=args.backend,
                 edge=args.edge,
                 n_edges=8,
                 include_aoi=False,
@@ -765,6 +783,7 @@ def _cmd_experiments_run(args: argparse.Namespace) -> int:
         processes=args.processes,
         write=False,
         task_timeout_s=args.task_timeout_s,
+        backend=args.backend,
     )
     out = args.out if args.out else runner.manifest_path()
     manifest.save(out)
@@ -907,6 +926,7 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
             _adapt_controller_instance(args.controller),
             trace,
             n_shards=args.shards,
+            backend=args.backend,
             edge=args.edge,
             n_edges=args.edge_servers,
             deadline_ms=args.deadline_ms,
@@ -1046,6 +1066,33 @@ def _cmd_figures_check(args: argparse.Namespace) -> int:
         )
         return 1
     print(f"\nall {len(outcomes)} committed artifacts reproduce byte-identically")
+    return 0
+
+
+def _cmd_docs_build(args: argparse.Namespace) -> int:
+    from repro.docs import build_docs
+
+    for path in build_docs(args.dir):
+        print(f"built {path}")
+    return 0
+
+
+def _cmd_docs_check(args: argparse.Namespace) -> int:
+    from repro.docs import check_docs
+
+    outcomes = check_docs(args.dir, root=args.root)
+    rows = [(o.name, o.status, o.detail) for o in outcomes]
+    print(f"Docs drift check against {args.dir}/")
+    print(format_table(rows, headers=("artifact", "status", "detail")))
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        print(
+            f"\n{len(failed)} artifact(s) drifted, missing, or out of sync "
+            "with the env-var registry — regenerate with 'repro docs build' "
+            "(and update repro.docs.envvars.ENV_VARS) and commit the result"
+        )
+        return 1
+    print(f"\nall {len(outcomes)} documentation artifact(s) are current")
     return 0
 
 
@@ -1284,8 +1331,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=1,
-        help="independent cells the fleet is split into (process pool)",
+        help="independent cells the fleet is split into (pooled shard fan-out)",
     )
+    _add_backend_argument(cosim, "the shard fan-out")
     cosim.add_argument(
         "--max-iterations",
         type=int,
@@ -1340,8 +1388,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--cosim-shards",
         type=int,
         default=1,
-        help="independent cells the co-sim fleet is split into (process pool)",
+        help="independent cells the co-sim fleet is split into (pooled shard fan-out)",
     )
+    _add_backend_argument(bench, "the sharded co-sim measurement")
     bench.add_argument(
         "--json",
         metavar="PATH",
@@ -1432,6 +1481,7 @@ def build_parser() -> argparse.ArgumentParser:
         "whose worker exceeds it is re-run serially (default: "
         "REPRO_EXEC_TIMEOUT_S, unbounded when unset)",
     )
+    _add_backend_argument(exp_run, "pooled scenario runs")
     exp_run.add_argument(
         "--telemetry",
         metavar="PATH",
@@ -1567,6 +1617,7 @@ def build_parser() -> argparse.ArgumentParser:
     flt_run.add_argument(
         "--shards", type=int, default=1, help="independent cells (cosim only)"
     )
+    _add_backend_argument(flt_run, "the cosim shard fan-out")
     flt_run.add_argument(
         "--deadline-ms", type=float, default=700.0, help="per-frame latency budget"
     )
@@ -1639,6 +1690,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_figure_input_arguments(fig_check)
     fig_check.set_defaults(handler=_cmd_figures_check)
+
+    docs = subparsers.add_parser(
+        "docs",
+        help="generated documentation: build docs/CLI.md from the live "
+        "argparse tree, or drift-check it (the CI docs-drift gate)",
+    )
+    docs_actions = docs.add_subparsers(dest="action", required=True)
+    docs_build = docs_actions.add_parser(
+        "build",
+        help="render the generated docs pages (CLI reference + env-var "
+        "table) into the docs directory",
+    )
+    docs_build.add_argument(
+        "--dir",
+        default="docs",
+        help="directory the generated pages are written to",
+    )
+    docs_build.set_defaults(handler=_cmd_docs_build)
+    docs_check = docs_actions.add_parser(
+        "check",
+        help="re-render every generated docs page and fail on any byte "
+        "difference; also cross-checks the REPRO_* env-var registry "
+        "against the source trees",
+    )
+    docs_check.add_argument(
+        "--dir",
+        default="docs",
+        help="directory holding the committed generated pages",
+    )
+    docs_check.add_argument(
+        "--root",
+        default=None,
+        help="repository root for the REPRO_* source sweep "
+        "(default: the parent of --dir)",
+    )
+    docs_check.set_defaults(handler=_cmd_docs_check)
 
     lint = subparsers.add_parser(
         "lint",

@@ -77,7 +77,7 @@ from repro.core.coefficients import CoefficientSet
 from repro.core.framework import XRPerformanceModel
 from repro.cosim.results import CosimReport, ShardedCosimReport
 from repro.exceptions import ConfigurationError
-from repro.faults.execution import run_hardened
+from repro.exec import resolve_backend
 from repro.faults.report import fault_outcome
 from repro.faults.schedule import EpochFaultState, FaultInjector, FaultSchedule
 from repro.fleet.contention import ContentionModel
@@ -983,12 +983,10 @@ def _run_shard(payload: tuple) -> Tuple[CosimReport, Optional[dict]]:
     population, controller, trace, kwargs, capture = payload
     if not capture:
         return CoSimulation(population, controller, trace, **kwargs).run(), None
-    registry = telemetry.Telemetry()
-    previous = telemetry.activate(registry)
-    try:
+    # Thread-local activation: correct in a process worker, a thread
+    # worker, and the in-process serial fallback alike.
+    with telemetry.scoped(telemetry.Telemetry()) as registry:
         report = CoSimulation(population, controller, trace, **kwargs).run()
-    finally:
-        telemetry.activate(previous)
     return report, registry.snapshot()
 
 
@@ -999,6 +997,7 @@ def run_cosim(
     *,
     n_shards: int = 1,
     shard_timeout_s: Optional[float] = None,
+    backend: Optional[str] = None,
     **kwargs,
 ) -> Union[CosimReport, ShardedCosimReport]:
     """Run a co-simulation, optionally sharded across independent cells.
@@ -1006,13 +1005,15 @@ def run_cosim(
     With ``n_shards == 1`` this is exactly ``CoSimulation(...).run()``.
     Otherwise the population is partitioned round-robin into ``n_shards``
     independent cells — each with its own Wi-Fi channel and ``n_edges``
-    edge servers — and the shards run through the hardened pool seam
-    (:func:`repro.faults.execution.run_hardened`): unpicklable
-    specifications fall back to in-process execution, and a shard whose
-    worker crashes or exceeds ``shard_timeout_s`` is re-executed serially
-    while completed shards keep their results.  Shards are deterministic
-    and merged in shard order, so every recovery path produces a result
-    bit-identical to the all-serial run.
+    edge servers — and the shards fan out through the execution backend
+    named by ``backend`` (default: ``REPRO_EXEC_BACKEND``, then the
+    hardened process pool; see :func:`repro.exec.resolve_backend`):
+    unpicklable specifications fall back to in-process execution, and a
+    shard whose worker crashes or exceeds ``shard_timeout_s`` is
+    re-executed serially while completed shards keep their results.
+    Shards are deterministic and merged in shard order, so every backend
+    and every recovery path produces a result bit-identical to the
+    all-serial run.
     """
     if n_shards < 1:
         raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
@@ -1040,7 +1041,7 @@ def run_cosim(
         for shard in range(n_shards)
     ]
     with registry.span("cosim.run_sharded", users=len(population), shards=n_shards):
-        results = run_hardened(
+        results = resolve_backend(backend).map_tasks(
             _run_shard,
             payloads,
             max_workers=n_shards,

@@ -1,0 +1,54 @@
+"""repro.docs — generated documentation that cannot drift.
+
+The documentation counterpart of :mod:`repro.figures`: pages whose
+content is derivable from the code are rendered *from* the code and
+byte-gated in CI, so the reference a reader lands on always matches the
+binary they run.
+
+* :mod:`repro.docs.cli_reference` renders ``docs/CLI.md`` from the live
+  argparse tree (every subcommand, flag, default and choice set);
+* :mod:`repro.docs.envvars` is the single registry of ``REPRO_*``
+  environment variables, swept against the source trees in both
+  directions (undocumented *and* stale names fail the check);
+* :mod:`repro.docs.drift` drives ``repro docs build`` / ``repro docs
+  check`` and the CI ``docs-drift`` job.
+
+Hand-written pages (``docs/ARCHITECTURE.md`` and the deep-dive guides)
+live beside the generated ones and are not gated here.
+"""
+
+from repro.docs.cli_reference import (
+    GENERATED_MARKER,
+    iter_commands,
+    render_cli_markdown,
+)
+from repro.docs.drift import (
+    GENERATED_DOCS,
+    DocCheckOutcome,
+    build_docs,
+    check_docs,
+)
+from repro.docs.envvars import (
+    ENV_VARS,
+    EnvVar,
+    env_var_names,
+    render_env_table,
+    stale_names,
+    undocumented_names,
+)
+
+__all__ = [
+    "ENV_VARS",
+    "GENERATED_DOCS",
+    "GENERATED_MARKER",
+    "DocCheckOutcome",
+    "EnvVar",
+    "build_docs",
+    "check_docs",
+    "env_var_names",
+    "iter_commands",
+    "render_cli_markdown",
+    "render_env_table",
+    "stale_names",
+    "undocumented_names",
+]

@@ -1,0 +1,112 @@
+"""Build and drift-check the generated documentation artifacts.
+
+The same discipline ``repro figures check`` applies to ``results/`` is
+applied here to ``docs/``: generated pages are a verified pipeline
+output, never a stale copy.  :func:`build_docs` (re)writes them;
+:func:`check_docs` re-renders each one in memory, byte-compares it with
+the committed file, and additionally cross-checks the environment-variable
+registry against the source trees in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Union
+
+from repro.docs.cli_reference import render_cli_markdown
+from repro.docs.envvars import stale_names, undocumented_names
+
+#: Generated docs pages: filename (under ``docs/``) -> renderer.
+GENERATED_DOCS: Dict[str, Callable[[], str]] = {
+    "CLI.md": render_cli_markdown,
+}
+
+
+@dataclass(frozen=True)
+class DocCheckOutcome:
+    """One drift-check verdict.
+
+    Attributes:
+        name: the checked artifact (a ``docs/`` filename or a registry
+            cross-check identifier).
+        status: ``ok``, ``drift``, ``missing``, ``undocumented`` or
+            ``stale``.
+        detail: human-readable specifics (empty when ``ok``).
+    """
+
+    name: str
+    status: str
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def build_docs(docs_dir: Union[str, Path] = "docs") -> List[Path]:
+    """Render every generated page into ``docs_dir``; returns the paths."""
+    base = Path(docs_dir)
+    base.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, renderer in sorted(GENERATED_DOCS.items()):
+        path = base / name
+        path.write_text(renderer(), encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def check_docs(
+    docs_dir: Union[str, Path] = "docs",
+    root: Union[str, Path, None] = None,
+) -> List[DocCheckOutcome]:
+    """Drift-check the generated pages and the env-var registry.
+
+    Args:
+        docs_dir: directory holding the committed generated pages.
+        root: repository root for the ``REPRO_*`` source sweep
+            (default: the parent of ``docs_dir``).
+    """
+    base = Path(docs_dir)
+    sweep_root = Path(root) if root is not None else base.resolve().parent
+    outcomes: List[DocCheckOutcome] = []
+    for name, renderer in sorted(GENERATED_DOCS.items()):
+        path = base / name
+        expected = renderer()
+        if not path.exists():
+            outcomes.append(
+                DocCheckOutcome(
+                    name=name,
+                    status="missing",
+                    detail="run 'repro docs build' and commit the result",
+                )
+            )
+        elif path.read_text(encoding="utf-8") != expected:
+            outcomes.append(
+                DocCheckOutcome(
+                    name=name,
+                    status="drift",
+                    detail="committed file differs from regeneration",
+                )
+            )
+        else:
+            outcomes.append(DocCheckOutcome(name=name, status="ok"))
+    for var in undocumented_names(sweep_root):
+        outcomes.append(
+            DocCheckOutcome(
+                name=var,
+                status="undocumented",
+                detail="used in the source trees but missing from "
+                "repro.docs.envvars.ENV_VARS",
+            )
+        )
+    for var in stale_names(sweep_root):
+        outcomes.append(
+            DocCheckOutcome(
+                name=var,
+                status="stale",
+                detail="documented in repro.docs.envvars.ENV_VARS but no "
+                "longer used anywhere",
+            )
+        )
+    return outcomes

@@ -559,12 +559,10 @@ def _run_scenario_captured(payload: Tuple[ScenarioSpec, bool]):
     spec, capture = payload
     if not capture:
         return run_scenario(spec), None
-    registry = telemetry.Telemetry()
-    previous = telemetry.activate(registry)
-    try:
+    # Thread-local activation: correct in a process worker, a thread
+    # worker, and the in-process serial fallback alike.
+    with telemetry.scoped(telemetry.Telemetry()) as registry:
         result = run_scenario(spec)
-    finally:
-        telemetry.activate(previous)
     return result, registry.snapshot()
 
 
@@ -597,6 +595,7 @@ class ExperimentRunner:
         processes: int = 0,
         write: bool = True,
         task_timeout_s: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> RunManifest:
         """Run the (sub-)suite and return its manifest.
 
@@ -605,22 +604,28 @@ class ExperimentRunner:
                 spec hash always covers the scenarios actually run, so a
                 selected manifest never silently gates against a full
                 baseline.
-            processes: worker processes; 0/1 runs serially in-process.  The
+            processes: pool width; 0/1 runs serially in-process.  The
                 serial path is the reference: pooled runs produce the same
                 metric payload, and scenarios whose worker crashes, hangs
                 past ``task_timeout_s`` or cannot be pickled are re-run
-                serially (see :func:`repro.faults.execution.run_hardened`).
+                serially (see :class:`repro.exec.ExecutionBackend`).
             write: write the manifest to :meth:`manifest_path`.
             task_timeout_s: per-scenario wall-clock budget for pooled runs
                 (default: the ``REPRO_EXEC_TIMEOUT_S`` environment variable,
                 unbounded when unset).
+            backend: execution backend name for pooled runs (default: the
+                ``REPRO_EXEC_BACKEND`` environment variable, then the
+                hardened process pool; see
+                :func:`repro.exec.resolve_backend`).
         """
         if processes < 0:
             raise ConfigurationError(f"processes must be >= 0, got {processes}")
         suite = self.suite if select is None else self.suite.select(select)
         registry = telemetry.get()
         with registry.span("experiments.run", scenarios=len(suite.specs)) as sp:
-            results = self._run_specs(suite.specs, processes, task_timeout_s)
+            results = self._run_specs(
+                suite.specs, processes, task_timeout_s, backend
+            )
         manifest = RunManifest(
             suite=suite.name,
             spec_hash=suite.spec_hash(),
@@ -640,20 +645,21 @@ class ExperimentRunner:
         specs: Sequence[ScenarioSpec],
         processes: int,
         task_timeout_s: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> List[ScenarioResult]:
         if processes <= 1 or len(specs) <= 1:
             return [run_scenario(spec) for spec in specs]
-        # The hardened pool seam (shared with repro.cosim.run_cosim)
+        # The execution backend seam (shared with repro.cosim.run_cosim)
         # recovers per-scenario: a crashed or timed-out worker costs one
         # serial re-run of that scenario, completed scenarios keep their
         # results, and the merged manifest is bit-identical to the
         # all-serial path.  A genuine scenario error is captured in its
         # ScenarioResult either way.
-        from repro.faults.execution import run_hardened
+        from repro.exec import resolve_backend
 
         registry = telemetry.get()
         payloads = [(spec, registry.enabled) for spec in specs]
-        results = run_hardened(
+        results = resolve_backend(backend).map_tasks(
             _run_scenario_captured,
             payloads,
             max_workers=min(processes, len(specs)),

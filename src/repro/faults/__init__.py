@@ -9,9 +9,11 @@ The package has three layers:
   the fleet, adaptive and cosim engines consume;
 - :mod:`repro.faults.report` — recovery metrics: per-fault-window miss
   rates and time-to-recover epochs folded into a :class:`FaultOutcome`;
-- :mod:`repro.faults.execution` — :func:`run_hardened`, the shared
-  process-pool seam with per-task timeout, bounded retry and serial
-  re-execution of only the failed tasks.
+- :mod:`repro.faults.execution` — :func:`run_hardened`, the hardened
+  process-pool entry point with per-task timeout, bounded retry and
+  serial re-execution of only the failed tasks (now a compatibility shim
+  over :class:`repro.exec.ProcessPoolBackend`, where the machinery lives
+  alongside the serial and thread backends).
 """
 
 from repro.faults.execution import (

@@ -1,116 +1,45 @@
-"""Hardened fan-out over a process pool with per-task recovery.
+"""Compatibility shim over :mod:`repro.exec` (the hardened pool's new home).
 
-:func:`run_hardened` is the shared execution seam under the cosim shard
-pool and the experiments scenario pool.  It replaces the previous
-all-or-nothing discipline — one crashed worker used to throw away every
-completed shard and re-run the whole job serially — with per-task
-accounting: completed futures keep their results, and only the tasks that
-crashed, hung past the per-task timeout, or raised are re-executed
-serially, in payload order.  Because the serial path *is* the reference
-path (the same function on the same payload), a partially-recovered run is
-bit-identical to an all-serial run.
+:func:`run_hardened` introduced per-task recovery for process pools —
+completed futures keep their results, and only the tasks that crashed,
+hung past the per-task timeout, or raised are re-executed serially, in
+payload order.  That machinery (including the ``REPRO_CHAOS_*`` worker
+hooks and the ``<label>.*`` telemetry counters) now lives in
+:class:`repro.exec.ProcessPoolBackend`, where it is one of several
+pluggable execution backends; this module keeps the original entry point
+and constants importable so existing call sites and tests are
+undisturbed.
 
-Every degradation is counted in telemetry under the caller's label:
-``<label>.tasks``, ``<label>.retry.broken_pool`` / ``.timeout`` /
-``.error``, ``<label>.serial_reruns`` and ``<label>.fallback.unpicklable``.
+New code should resolve a backend instead::
 
-For tests and chaos drills the module honours two environment hooks, read
-*inside pool workers only* (serial execution never consults them, so a
-retried task cannot crash twice):
+    from repro.exec import resolve_backend
 
-- ``REPRO_CHAOS_KILL_TASK`` — comma-separated task indices whose worker
-  dies with ``os._exit(1)`` (a real SIGCHLD-visible crash, breaking the
-  pool exactly like a segfault would);
-- ``REPRO_CHAOS_HANG_TASK`` — comma-separated task indices that sleep for
-  ``REPRO_CHAOS_HANG_S`` seconds (default 3600) before running, to
-  exercise the per-task timeout.
+    results = resolve_backend("process").map_tasks(
+        fn, payloads, max_workers=8, label="exec"
+    )
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
-import pickle
-import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence
 
-from repro import telemetry
-from repro.exceptions import ConfigurationError
-
-#: Environment variable naming the per-task timeout (seconds) when the
-#: caller does not pass one explicitly.
-EXEC_TIMEOUT_ENV = "REPRO_EXEC_TIMEOUT_S"
-
-#: Chaos hooks (see module docstring).
-CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_TASK"
-CHAOS_HANG_ENV = "REPRO_CHAOS_HANG_S"
-CHAOS_HANG_TASK_ENV = "REPRO_CHAOS_HANG_TASK"
-
-_UNPICKLABLE_ERRORS = (
-    pickle.PicklingError,
-    AttributeError,
-    TypeError,
-    OSError,
-    ImportError,
+from repro.exec import ProcessPoolBackend
+from repro.exec.backend import (  # noqa: F401 - re-exported compat surface
+    CHAOS_HANG_ENV,
+    CHAOS_HANG_TASK_ENV,
+    CHAOS_KILL_ENV,
+    EXEC_TIMEOUT_ENV,
+    default_timeout_s,
 )
 
-
-def _chaos_indices(env_name: str) -> Tuple[int, ...]:
-    raw = os.environ.get(env_name, "")
-    indices = []
-    for chunk in raw.split(","):
-        chunk = chunk.strip()
-        if chunk:
-            try:
-                indices.append(int(chunk))
-            except ValueError:
-                continue
-    return tuple(indices)
-
-
-def _pool_task(args: tuple):
-    """Worker-side wrapper: apply chaos hooks, then run the real task."""
-    fn, index, payload = args
-    if index in _chaos_indices(CHAOS_KILL_ENV):
-        os._exit(1)
-    if index in _chaos_indices(CHAOS_HANG_TASK_ENV):
-        time.sleep(float(os.environ.get(CHAOS_HANG_ENV, "3600")))
-    return fn(payload)
-
-
-def default_timeout_s() -> Optional[float]:
-    """Per-task timeout from :data:`EXEC_TIMEOUT_ENV` (None = no timeout)."""
-    raw = os.environ.get(EXEC_TIMEOUT_ENV)
-    if raw is None or not raw.strip():
-        return None
-    try:
-        value = float(raw)
-    except ValueError as exc:
-        raise ConfigurationError(
-            f"{EXEC_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
-        ) from exc
-    if value <= 0:
-        raise ConfigurationError(
-            f"{EXEC_TIMEOUT_ENV} must be positive, got {value}"
-        )
-    return value
-
-
-def _terminate_pool(pool) -> None:
-    """Best-effort hard stop of a pool whose workers may be wedged."""
-    processes = getattr(pool, "_processes", None)
-    if processes:
-        for process in list(processes.values()):
-            try:
-                process.terminate()
-            except (OSError, AttributeError, ValueError):
-                pass
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except TypeError:  # pragma: no cover - pre-3.9 signature safety net
-        pool.shutdown(wait=False)
+__all__ = [
+    "CHAOS_HANG_ENV",
+    "CHAOS_HANG_TASK_ENV",
+    "CHAOS_KILL_ENV",
+    "EXEC_TIMEOUT_ENV",
+    "default_timeout_s",
+    "run_hardened",
+]
 
 
 def run_hardened(
@@ -122,7 +51,12 @@ def run_hardened(
     label: str = "exec",
     pool_factory: Optional[Callable[[int], object]] = None,
 ) -> list:
-    """Run ``fn`` over ``payloads`` in a process pool with per-task recovery.
+    """Run ``fn`` over ``payloads`` in a hardened process pool.
+
+    Equivalent to
+    ``ProcessPoolBackend(pool_factory).map_tasks(fn, payloads, ...)``;
+    see :class:`repro.exec.ProcessPoolBackend` for the recovery
+    semantics and telemetry counters.
 
     Args:
         fn: a picklable module-level function of one payload.
@@ -130,92 +64,20 @@ def run_hardened(
         max_workers: pool size (>= 1; 1 runs everything serially).
         timeout_s: per-task wall-clock timeout; defaults to
             :data:`EXEC_TIMEOUT_ENV` when unset, and no timeout when that
-            is unset too.  On the first timeout the pool is terminated,
-            already-completed results are kept, and every unfinished task
-            joins the serial retry.
-        label: telemetry counter prefix for this seam (e.g. ``"cosim"``).
+            is unset too.
+        label: telemetry counter prefix for this seam (e.g. ``"exec"``).
         pool_factory: executor constructor taking ``max_workers``
             (injectable for tests; defaults to
             :class:`~concurrent.futures.ProcessPoolExecutor`).
 
     Returns:
-        ``[fn(p) for p in payloads]`` — the pooled fast path and the serial
-        retry produce identical values by construction.
+        ``[fn(p) for p in payloads]`` — the pooled fast path and the
+        serial retry produce identical values by construction.
     """
-    if max_workers < 1:
-        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
-    if timeout_s is None:
-        timeout_s = default_timeout_s()
-    if timeout_s is not None and timeout_s <= 0:
-        raise ConfigurationError(f"timeout_s must be positive, got {timeout_s}")
-
-    registry = telemetry.get()
-    n_tasks = len(payloads)
-    registry.add(f"{label}.tasks", n_tasks)
-    if n_tasks == 0:
-        return []
-    if max_workers == 1 or n_tasks == 1:
-        return [fn(payload) for payload in payloads]
-
-    try:
-        pickle.dumps(list(payloads))
-    except _UNPICKLABLE_ERRORS:
-        registry.add(f"{label}.fallback.unpicklable")
-        return [fn(payload) for payload in payloads]
-
-    if pool_factory is None:
-        pool_factory = ProcessPoolExecutor
-
-    results: List = [None] * n_tasks
-    failed: List[int] = []
-    pool = pool_factory(min(max_workers, n_tasks))
-    pool_dead = False
-    try:
-        try:
-            futures = [
-                pool.submit(_pool_task, (fn, index, payload))
-                for index, payload in enumerate(payloads)
-            ]
-        except _UNPICKLABLE_ERRORS:
-            registry.add(f"{label}.fallback.unpicklable")
-            return [fn(payload) for payload in payloads]
-        for index, future in enumerate(futures):
-            if pool_dead:
-                if future.done() and not future.cancelled():
-                    try:
-                        results[index] = future.result()
-                        continue
-                    except BaseException:
-                        pass
-                failed.append(index)
-                continue
-            try:
-                results[index] = future.result(timeout=timeout_s)
-            except concurrent.futures.TimeoutError:
-                registry.add(f"{label}.retry.timeout")
-                failed.append(index)
-                # A wedged worker can starve every queued task; stop
-                # waiting, salvage whatever already finished, and hand the
-                # rest to the serial retry.
-                _terminate_pool(pool)
-                pool_dead = True
-            except BrokenProcessPool:
-                registry.add(f"{label}.retry.broken_pool")
-                failed.append(index)
-            except concurrent.futures.CancelledError:
-                failed.append(index)
-            except Exception:
-                # A genuine task exception: retry serially so a
-                # deterministic failure surfaces with a direct traceback.
-                registry.add(f"{label}.retry.error")
-                failed.append(index)
-    finally:
-        if not pool_dead:
-            pool.shutdown(wait=True)
-
-    if failed:
-        registry.add(f"{label}.serial_reruns", len(failed))
-        with registry.span(f"{label}.serial_rerun", tasks=len(failed)):
-            for index in failed:
-                results[index] = fn(payloads[index])
-    return results
+    return ProcessPoolBackend(pool_factory=pool_factory).map_tasks(
+        fn,
+        payloads,
+        max_workers=max_workers,
+        timeout_s=timeout_s,
+        label=label,
+    )

@@ -45,6 +45,7 @@ from repro.telemetry.registry import (
     load_snapshot,
     merge_snapshots,
     save_snapshot,
+    scoped,
     strip_timing,
 )
 from repro.telemetry.report import format_profile
@@ -67,5 +68,6 @@ __all__ = [
     "load_snapshot",
     "merge_snapshots",
     "save_snapshot",
+    "scoped",
     "strip_timing",
 ]

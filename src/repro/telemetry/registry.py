@@ -35,9 +35,11 @@ is always valid — which is what lets spans replace the repo's hand-rolled
 
 from __future__ import annotations
 
+import contextlib
 import json
+import threading
 import time
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.schema import check_schema
 from repro.telemetry.histogram import StreamingHistogram
@@ -307,10 +309,22 @@ TelemetryLike = Union[Telemetry, NullTelemetry]
 
 _active: TelemetryLike = NULL_TELEMETRY
 
+# Per-thread override installed by :func:`scoped`.  Worker threads (the
+# thread execution backend) capture into private registries through this
+# slot, so concurrent tasks never clobber the process-wide registry; in
+# single-threaded code (including process-pool workers) the override is
+# indistinguishable from plain :func:`activate`.
+_local = threading.local()
+
 
 def get() -> TelemetryLike:
-    """The active registry (the no-op singleton unless enabled)."""
-    return _active
+    """The active registry (the no-op singleton unless enabled).
+
+    A :func:`scoped` override installed on the calling thread wins over
+    the process-wide registry set by :func:`activate`.
+    """
+    override = getattr(_local, "registry", None)
+    return _active if override is None else override
 
 
 def activate(telemetry: TelemetryLike) -> TelemetryLike:
@@ -340,6 +354,30 @@ def enable() -> Telemetry:
 def disable() -> None:
     """Restore the no-op singleton."""
     activate(NULL_TELEMETRY)
+
+
+@contextlib.contextmanager
+def scoped(telemetry: TelemetryLike) -> Iterator[TelemetryLike]:
+    """Make ``telemetry`` the active registry for this thread only.
+
+    Unlike :func:`activate`, the override is confined to the calling
+    thread and restored on exit, which makes it safe inside concurrently
+    running pool workers::
+
+        with telemetry.scoped(Telemetry()) as registry:
+            ...  # instrumentation on this thread records into registry
+        snapshot = registry.snapshot()
+
+    Capture wrappers (cosim shards, experiment scenarios) use this so the
+    same code path is correct in a process worker, a thread worker, and
+    the in-process serial fallback.
+    """
+    previous = getattr(_local, "registry", None)
+    _local.registry = telemetry
+    try:
+        yield telemetry
+    finally:
+        _local.registry = previous
 
 
 # ---------------------------------------------------------------------------

@@ -189,11 +189,12 @@ class TestRealPoolChaos:
         results = run_hardened(_square, [1, 2, 3], max_workers=2, label="t")
         assert results == [1, 4, 9]
         counters = registry.snapshot()["counters"]
-        # At least the killed task was retried; tasks queued behind the
-        # broken pool may join it, but completed tasks never re-run.
+        # At least the killed task was retried.  Under heavy load the pool
+        # can break before any future is collected, so every task may join
+        # the serial retry — the deterministic "completed tasks never
+        # re-run" pin lives in the scripted _FakePool tests above.
         assert counters.get("t.retry.broken_pool", 0) >= 1
-        assert counters["t.serial_reruns"] >= 1
-        assert counters["t.serial_reruns"] < 3
+        assert 1 <= counters["t.serial_reruns"] <= 3
 
     def test_hung_worker_times_out_and_recovers(self, monkeypatch):
         monkeypatch.setenv(CHAOS_HANG_TASK_ENV, "0")
